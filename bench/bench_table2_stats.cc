@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces paper Table 2: "Measured attributes of the traced programs".
+ *
+ * For each program model the harness reports the number of instructions
+ * traced, the percentage that break control flow, the branch-site skew
+ * (Q-50/90/99/100: how many of the hottest conditional sites cover that
+ * fraction of executed conditional branches), the static conditional site
+ * count, the taken percentage, and the break-type mix.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/cpi.h"
+#include "support/log.h"
+#include "support/table.h"
+
+using namespace balign;
+
+int
+main()
+{
+    setVerbose(false);
+    Table table({"Program", "Insns Traced", "%Breaks", "Q-50", "Q-90",
+                 "Q-99", "Q-100", "Static", "%Taken", "%CBr", "%IJ", "%Br",
+                 "%Call", "%Ret"});
+
+    std::string group;
+    for (const auto &spec : bench::tunedSuite(benchmarkSuite())) {
+        if (spec.group != group) {
+            if (!group.empty())
+                table.separator();
+            group = spec.group;
+        }
+        const PreparedProgram prepared = prepareProgram(spec);
+        const ProgramStats &s = prepared.stats;
+        table.row()
+            .cell(spec.name)
+            .cell(s.instrsTraced, true)
+            .cell(s.pctBreaks(), 1)
+            .cell(static_cast<std::uint64_t>(s.q50))
+            .cell(static_cast<std::uint64_t>(s.q90))
+            .cell(static_cast<std::uint64_t>(s.q99))
+            .cell(static_cast<std::uint64_t>(s.q100))
+            .cell(static_cast<std::uint64_t>(s.staticCondSites))
+            .cell(s.pctTaken(), 1)
+            .cell(s.pctCondOfBreaks(), 1)
+            .cell(s.pctIndirectOfBreaks(), 1)
+            .cell(s.pctUncondOfBreaks(), 1)
+            .cell(s.pctCallOfBreaks(), 1)
+            .cell(s.pctReturnOfBreaks(), 1);
+    }
+
+    std::cout << "Table 2: measured attributes of the traced programs\n\n";
+    table.print(std::cout);
+    return 0;
+}

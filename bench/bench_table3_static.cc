@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces paper Table 3: relative cycles per instruction for the three
+ * static prediction architectures (FALLTHROUGH, BT/FNT, LIKELY) under the
+ * Original, Greedy (Pettis & Hansen) and Try15 layouts, plus the percent
+ * of executed conditional branches that fall through after alignment.
+ *
+ * Cost model (paper Table 1): misfetch = 1 cycle, mispredict = 4 cycles;
+ * every configuration includes a 32-entry return stack.
+ *
+ * Shape targets (paper §6): Try15 beats Greedy, most dramatically on
+ * FALLTHROUGH (where it converts up to ~99% of conditionals to
+ * fall-throughs); BT/FNT sees solid gains; LIKELY small ones; and after
+ * alignment FALLTHROUGH and BT/FNT converge.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/cpi.h"
+#include "support/log.h"
+#include "support/table.h"
+
+using namespace balign;
+
+int
+main()
+{
+    setVerbose(false);
+
+    const Arch archs[] = {Arch::Fallthrough, Arch::BtFnt, Arch::Likely};
+    std::vector<ExperimentConfig> configs;
+    for (Arch arch : archs) {
+        configs.push_back({arch, AlignerKind::Original});
+        configs.push_back({arch, AlignerKind::Greedy});
+        configs.push_back({arch, AlignerKind::Try15});
+    }
+
+    Table table({"Program", "FT/Orig", "FT/Greedy", "FT/Try15", "BF/Orig",
+                 "BF/Greedy", "BF/Try15", "LK/Orig", "LK/Greedy",
+                 "LK/Try15", "%fall FT", "%fall BF", "%fall LK"});
+
+    bench::GroupAverages avg;
+    auto flush_group = [&](const std::string &label) {
+        auto values = avg.averages();
+        Table &row = table.row().cell(label + " Avg");
+        for (double v : values)
+            row.cell(v, 3);
+        table.separator();
+    };
+
+    std::string group;
+    for (const auto &spec : bench::tunedSuite(benchmarkSuite())) {
+        if (spec.group != group) {
+            if (!group.empty())
+                flush_group(group);
+            group = spec.group;
+            avg.reset(12);
+        }
+        const ExperimentRun run = runExperiment(spec, configs);
+        std::vector<double> values;
+        for (Arch arch : archs) {
+            values.push_back(run.cell(arch, AlignerKind::Original).relCpi);
+            values.push_back(run.cell(arch, AlignerKind::Greedy).relCpi);
+            values.push_back(run.cell(arch, AlignerKind::Try15).relCpi);
+        }
+        for (Arch arch : archs) {
+            values.push_back(
+                run.cell(arch, AlignerKind::Try15).eval.pctFallThrough());
+        }
+        Table &row = table.row().cell(spec.name);
+        for (std::size_t i = 0; i < 9; ++i)
+            row.cell(values[i], 3);
+        for (std::size_t i = 9; i < 12; ++i)
+            row.cell(values[i], 1);
+        avg.add(values);
+    }
+    if (!group.empty())
+        flush_group(group);
+
+    std::cout << "Table 3: relative CPI, static prediction architectures\n"
+              << "(FT = FALLTHROUGH, BF = BT/FNT, LK = LIKELY;\n"
+              << " %fall = executed conditional branches falling through "
+                 "after Try15 alignment)\n\n";
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces paper Table 4: relative cycles per instruction for the
+ * dynamic prediction architectures — a 4096-entry direct-mapped PHT, a
+ * 4096-entry correlation (gshare) PHT, a 64-entry 2-way BTB and a
+ * 256-entry 4-way (Pentium-like) BTB — under the Original, Greedy and
+ * Try15 layouts.
+ *
+ * Shape targets (paper §6): alignment offers some improvement to the PHTs
+ * (mostly removing unconditional branches and taken-branch misfetches from
+ * the hot path), little to the large BTB, and more to the small BTB (fewer
+ * taken branches -> fewer BTB entries -> fewer misses).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/cpi.h"
+#include "support/log.h"
+#include "support/table.h"
+
+using namespace balign;
+
+int
+main()
+{
+    setVerbose(false);
+
+    const Arch archs[] = {Arch::PhtDirect, Arch::PhtCorrelated,
+                          Arch::BtbSmall, Arch::BtbLarge};
+    std::vector<ExperimentConfig> configs;
+    for (Arch arch : archs) {
+        configs.push_back({arch, AlignerKind::Original});
+        configs.push_back({arch, AlignerKind::Greedy});
+        configs.push_back({arch, AlignerKind::Try15});
+    }
+
+    Table table({"Program", "PHT/Orig", "PHT/Greedy", "PHT/Try15",
+                 "COR/Orig", "COR/Greedy", "COR/Try15", "BTB64/Orig",
+                 "BTB64/Greedy", "BTB64/Try15", "BTB256/Orig",
+                 "BTB256/Greedy", "BTB256/Try15"});
+
+    bench::GroupAverages avg;
+    auto flush_group = [&](const std::string &label) {
+        auto values = avg.averages();
+        Table &row = table.row().cell(label + " Avg");
+        for (double v : values)
+            row.cell(v, 3);
+        table.separator();
+    };
+
+    std::string group;
+    for (const auto &spec : bench::tunedSuite(benchmarkSuite())) {
+        if (spec.group != group) {
+            if (!group.empty())
+                flush_group(group);
+            group = spec.group;
+            avg.reset(12);
+        }
+        const ExperimentRun run = runExperiment(spec, configs);
+        std::vector<double> values;
+        for (Arch arch : archs) {
+            values.push_back(run.cell(arch, AlignerKind::Original).relCpi);
+            values.push_back(run.cell(arch, AlignerKind::Greedy).relCpi);
+            values.push_back(run.cell(arch, AlignerKind::Try15).relCpi);
+        }
+        Table &row = table.row().cell(spec.name);
+        for (double v : values)
+            row.cell(v, 3);
+        avg.add(values);
+    }
+    if (!group.empty())
+        flush_group(group);
+
+    std::cout << "Table 4: relative CPI, dynamic prediction architectures\n"
+              << "(PHT = 4096-entry direct-mapped, COR = 4096-entry "
+                 "correlation/gshare,\n"
+              << " BTB64 = 64-entry 2-way, BTB256 = 256-entry 4-way)\n\n";
+    table.print(std::cout);
+    return 0;
+}

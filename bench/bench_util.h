@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared helpers for the table/figure bench harnesses.
+ *
+ * Environment knobs:
+ *   BALIGN_TRACE_INSTRS  override the per-program trace length
+ *   BALIGN_PROGRAMS      comma-separated subset of suite program names
+ */
+
+#ifndef BALIGN_BENCH_BENCH_UTIL_H
+#define BALIGN_BENCH_BENCH_UTIL_H
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/spec.h"
+#include "workload/suite.h"
+
+namespace balign::bench {
+
+/// Applies BALIGN_TRACE_INSTRS / BALIGN_PROGRAMS to the suite.
+inline std::vector<ProgramSpec>
+tunedSuite(std::vector<ProgramSpec> suite)
+{
+    if (const char *env = std::getenv("BALIGN_TRACE_INSTRS")) {
+        const auto budget = std::strtoull(env, nullptr, 10);
+        if (budget > 0) {
+            for (auto &spec : suite)
+                spec.traceInstrs = budget;
+        }
+    }
+    if (const char *env = std::getenv("BALIGN_PROGRAMS")) {
+        std::vector<ProgramSpec> filtered;
+        const std::string list = env;
+        for (const auto &spec : suite) {
+            std::size_t pos = 0;
+            bool keep = false;
+            while (pos != std::string::npos) {
+                const std::size_t comma = list.find(',', pos);
+                const std::string name =
+                    list.substr(pos, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - pos);
+                if (name == spec.name) {
+                    keep = true;
+                    break;
+                }
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+            if (keep)
+                filtered.push_back(spec);
+        }
+        if (!filtered.empty())
+            return filtered;
+    }
+    return suite;
+}
+
+/// Group-average tracker preserving the paper's grouping rows.
+struct GroupAverages
+{
+    std::string current;
+    std::vector<double> sums;
+    std::size_t count = 0;
+
+    /// Returns true when a group boundary was crossed (caller prints the
+    /// previous group's average first).
+    bool
+    enter(const std::string &group, std::size_t columns)
+    {
+        if (group == current)
+            return false;
+        const bool had = count > 0;
+        current = group;
+        if (!had) {
+            sums.assign(columns, 0.0);
+            count = 0;
+        }
+        return had;
+    }
+
+    void
+    add(const std::vector<double> &values)
+    {
+        if (sums.size() < values.size())
+            sums.resize(values.size(), 0.0);
+        for (std::size_t i = 0; i < values.size(); ++i)
+            sums[i] += values[i];
+        ++count;
+    }
+
+    std::vector<double>
+    averages() const
+    {
+        std::vector<double> result(sums.size(), 0.0);
+        if (count == 0)
+            return result;
+        for (std::size_t i = 0; i < sums.size(); ++i)
+            result[i] = sums[i] / static_cast<double>(count);
+        return result;
+    }
+
+    void
+    reset(std::size_t columns)
+    {
+        sums.assign(columns, 0.0);
+        count = 0;
+    }
+};
+
+}  // namespace balign::bench
+
+#endif  // BALIGN_BENCH_BENCH_UTIL_H

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Layout explorer: generates one of the suite program models, aligns it
+ * with every algorithm for a chosen architecture, and reports per-procedure
+ * transformation statistics plus overall metrics — the kind of report a
+ * user of the library would consult before shipping an aligned binary.
+ *
+ * Usage: layout_explorer [program-name] [arch]
+ *   program-name: any suite model (default: espresso)
+ *   arch: fallthrough | btfnt | likely | pht | gshare | btb (default: btfnt)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "layout/materialize.h"
+#include "sim/cpi.h"
+#include "support/log.h"
+#include "support/table.h"
+#include "workload/suite.h"
+
+using namespace balign;
+
+namespace {
+
+Arch
+parseArch(const char *name)
+{
+    if (std::strcmp(name, "fallthrough") == 0)
+        return Arch::Fallthrough;
+    if (std::strcmp(name, "btfnt") == 0)
+        return Arch::BtFnt;
+    if (std::strcmp(name, "likely") == 0)
+        return Arch::Likely;
+    if (std::strcmp(name, "pht") == 0)
+        return Arch::PhtDirect;
+    if (std::strcmp(name, "gshare") == 0)
+        return Arch::PhtCorrelated;
+    if (std::strcmp(name, "btb") == 0)
+        return Arch::BtbLarge;
+    fatal("unknown architecture '%s'", name);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *program_name = argc > 1 ? argv[1] : "espresso";
+    const Arch arch = parseArch(argc > 2 ? argv[2] : "btfnt");
+
+    ProgramSpec spec = suiteSpec(program_name);
+    spec.traceInstrs = 1'000'000;
+    std::printf("program model: %s (%s), arch: %s\n", spec.name.c_str(),
+                spec.group.c_str(), archName(arch));
+
+    const PreparedProgram prepared = prepareProgram(spec);
+    std::printf("profiled %llu instructions, %.1f%% breaks, "
+                "%.1f%% of conditionals taken\n\n",
+                static_cast<unsigned long long>(
+                    prepared.stats.instrsTraced),
+                prepared.stats.pctBreaks(), prepared.stats.pctTaken());
+
+    const std::vector<ExperimentConfig> configs = {
+        {arch, AlignerKind::Original},
+        {arch, AlignerKind::Greedy},
+        {arch, AlignerKind::Cost},
+        {arch, AlignerKind::Try15},
+    };
+    const ExperimentRun run = runConfigs(prepared, configs);
+
+    Table table({"layout", "rel CPI", "BEP cycles", "fall-through %",
+                 "cond accuracy %", "instrs"});
+    for (const auto &cell : run.cells) {
+        table.row()
+            .cell(alignerKindName(cell.config.kind))
+            .cell(cell.relCpi, 3)
+            .cell(cell.eval.bep(), 0)
+            .cell(cell.eval.pctFallThrough(), 1)
+            .cell(cell.eval.condAccuracy(), 1)
+            .cell(cell.eval.instrs, true);
+    }
+    table.print(std::cout);
+
+    // Per-procedure transformation summary for the Try15 layout.
+    const CostModel model(arch);
+    const ProgramLayout layout =
+        alignProgram(prepared.program, AlignerKind::Try15, &model);
+    std::printf("\nTry15 transformations (procedures with any change):\n");
+    Table procs({"procedure", "blocks", "jumps +", "jumps -", "inverted",
+                 "size before", "size after"});
+    for (ProcId p = 0; p < prepared.program.numProcs(); ++p) {
+        const ProcLayout &pl = layout.procs[p];
+        if (pl.jumpsInserted == 0 && pl.jumpsRemoved == 0 &&
+            pl.sensesInverted == 0)
+            continue;
+        procs.row()
+            .cell(prepared.program.proc(p).name())
+            .cell(static_cast<std::uint64_t>(
+                prepared.program.proc(p).numBlocks()))
+            .cell(static_cast<std::uint64_t>(pl.jumpsInserted))
+            .cell(static_cast<std::uint64_t>(pl.jumpsRemoved))
+            .cell(static_cast<std::uint64_t>(pl.sensesInverted))
+            .cell(prepared.program.proc(p).totalInstrs(), false)
+            .cell(pl.totalInstrs, false);
+    }
+    procs.print(std::cout);
+    return 0;
+}

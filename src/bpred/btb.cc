@@ -1,0 +1,85 @@
+#include "bpred/btb.h"
+
+#include "support/log.h"
+
+namespace balign {
+
+Btb::Btb(std::size_t entries, std::size_t ways, unsigned counter_bits)
+    : entries_(entries),
+      ways_(ways),
+      sets_(entries / ways),
+      setMask_(entries / ways - 1),
+      counterBits_(counter_bits)
+{
+    if (entries == 0 || ways == 0 || entries % ways != 0)
+        panic("Btb: bad geometry %zux%zu", entries, ways);
+    if ((sets_ & (sets_ - 1)) != 0)
+        panic("Btb: number of sets must be a power of two");
+    for (auto &entry : entries_)
+        entry.counter = SaturatingCounter(counter_bits);
+}
+
+const Btb::Entry *
+Btb::findEntry(Addr site) const
+{
+    const std::size_t set = setIndex(site);
+    for (std::size_t w = 0; w < ways_; ++w) {
+        const Entry &entry = entries_[set * ways_ + w];
+        if (entry.valid && entry.tag == site)
+            return &entry;
+    }
+    return nullptr;
+}
+
+Btb::Entry *
+Btb::findEntry(Addr site)
+{
+    return const_cast<Entry *>(
+        static_cast<const Btb *>(this)->findEntry(site));
+}
+
+std::optional<Btb::Hit>
+Btb::lookup(Addr site) const
+{
+    const Entry *entry = findEntry(site);
+    if (entry == nullptr)
+        return std::nullopt;
+    return Hit{entry->target, entry->counter.taken()};
+}
+
+void
+Btb::update(Addr site, bool taken, Addr target)
+{
+    ++tick_;
+    Entry *entry = findEntry(site);
+    if (entry != nullptr) {
+        entry->counter.update(taken);
+        if (taken)
+            entry->target = target;  // retrain target (indirect branches)
+        entry->lastUse = tick_;
+        return;
+    }
+    if (!taken)
+        return;  // only taken branches are inserted
+
+    // Allocate: pick an invalid way, else the least recently used.
+    const std::size_t set = setIndex(site);
+    Entry *victim = &entries_[set * ways_];
+    for (std::size_t w = 0; w < ways_; ++w) {
+        Entry &candidate = entries_[set * ways_ + w];
+        if (!candidate.valid) {
+            victim = &candidate;
+            break;
+        }
+        if (candidate.lastUse < victim->lastUse)
+            victim = &candidate;
+    }
+    victim->valid = true;
+    victim->tag = site;
+    victim->target = target;
+    victim->counter = SaturatingCounter(counterBits_);
+    victim->counter.resetWeak(true);
+    victim->lastUse = tick_;
+}
+
+}  // namespace balign

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Branch target buffer (paper §3).
+ *
+ * Set-associative cache of branch sites. Only taken branches are inserted
+ * (as in the Intel Pentium the paper cites); each entry stores the branch
+ * target and a two-bit saturating counter used to predict conditional
+ * branch direction. On a miss, the fall-through path is predicted. The BTB
+ * holds every break type: conditional and unconditional branches, indirect
+ * jumps, calls and returns. The paper simulates a 64-entry 2-way and a
+ * 256-entry 4-way (Pentium-like) configuration.
+ */
+
+#ifndef BALIGN_BPRED_BTB_H
+#define BALIGN_BPRED_BTB_H
+
+#include <optional>
+#include <vector>
+
+#include "support/saturating_counter.h"
+#include "support/types.h"
+
+namespace balign {
+
+class Btb
+{
+  public:
+    /// Result of a lookup hit.
+    struct Hit
+    {
+        Addr target;         ///< stored target address
+        bool counterTaken;   ///< 2-bit counter's direction prediction
+    };
+
+    /**
+     * @param entries total entries (power of two)
+     * @param ways associativity (divides entries)
+     * @param counter_bits counter width (paper: 2)
+     */
+    Btb(std::size_t entries, std::size_t ways, unsigned counter_bits = 2);
+
+    /// Looks up @p site; does not modify replacement state.
+    std::optional<Hit> lookup(Addr site) const;
+
+    /**
+     * Trains the BTB after a branch resolves.
+     *
+     * @param site branch address
+     * @param taken whether the branch was taken (unconditional breaks,
+     *        calls, returns and indirect jumps are always taken)
+     * @param target the actual destination when taken
+     *
+     * Taken branches are inserted on a miss and refreshed on a hit (LRU
+     * update, counter increment, target update for indirect branches).
+     * Not-taken branches merely decrement the counter of an existing
+     * entry; they are never inserted.
+     */
+    void update(Addr site, bool taken, Addr target);
+
+    std::size_t numEntries() const { return entries_.size(); }
+    std::size_t numWays() const { return ways_; }
+    std::size_t numSets() const { return sets_; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Addr target = 0;
+        SaturatingCounter counter;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setIndex(Addr site) const { return site & setMask_; }
+    Entry *findEntry(Addr site);
+    const Entry *findEntry(Addr site) const;
+
+    std::vector<Entry> entries_;
+    std::size_t ways_;
+    std::size_t sets_;
+    std::size_t setMask_;
+    unsigned counterBits_;
+    std::uint64_t tick_ = 0;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_BPRED_BTB_H

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Trace-driven branch-architecture evaluator.
+ *
+ * An ArchEvaluator consumes resolved branch events (trace/branch_events.h)
+ * for one concrete layout, simulating one branch prediction architecture
+ * and accumulating the paper's metrics:
+ *
+ *  - instructions executed under that layout (sense inversions do not
+ *    change the count; inserted jumps add instructions when executed,
+ *    deleted jumps remove them);
+ *  - the branch execution penalty, BEP = misfetches * misfetch_penalty +
+ *    mispredicts * mispredict_penalty (paper §6);
+ *  - relative CPI = (aligned instructions + BEP) / original instructions;
+ *  - the percentage of executed conditional branches that fall through.
+ *
+ * Penalty rules (paper §6): for the static and PHT architectures,
+ * unconditional branches, correctly predicted taken conditional branches
+ * and direct calls misfetch; mispredicted conditional branches,
+ * mispredicted returns and all indirect jumps mispredict. The BTB
+ * architectures avoid the misfetch for taken branches that hit in the BTB.
+ * A 32-entry return stack predicts returns in every configuration.
+ */
+
+#ifndef BALIGN_BPRED_EVALUATOR_H
+#define BALIGN_BPRED_EVALUATOR_H
+
+#include <memory>
+
+#include "bpred/arch.h"
+#include "bpred/btb.h"
+#include "bpred/gshare.h"
+#include "bpred/local2level.h"
+#include "bpred/pht.h"
+#include "bpred/ras.h"
+#include "bpred/static_pred.h"
+#include "cfg/program.h"
+#include "layout/layout_result.h"
+#include "trace/branch_events.h"
+
+namespace balign {
+
+/// Evaluator configuration.
+struct EvalParams
+{
+    Arch arch = Arch::BtFnt;
+    Penalties penalties;
+    std::size_t phtEntries = 4096;
+    unsigned historyBits = 12;
+    unsigned counterBits = 2;
+    std::size_t btbEntries = 256;
+    std::size_t btbWays = 4;
+    std::size_t rasEntries = 32;
+
+    /// Paper defaults for each architecture.
+    static EvalParams forArch(Arch arch);
+};
+
+/// Accumulated metrics.
+struct EvalResult
+{
+    std::uint64_t instrs = 0;
+    std::uint64_t misfetches = 0;
+    std::uint64_t mispredicts = 0;
+
+    std::uint64_t condExec = 0;
+    std::uint64_t condTaken = 0;  ///< realized-taken conditionals
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t uncondExec = 0;
+    std::uint64_t callExec = 0;
+    std::uint64_t returnExec = 0;
+    std::uint64_t returnMispredicts = 0;
+    std::uint64_t indirectExec = 0;
+    std::uint64_t btbHits = 0;
+    std::uint64_t btbLookups = 0;
+
+    Penalties penalties;
+
+    /// Total branch execution penalty in cycles.
+    double
+    bep() const
+    {
+        return static_cast<double>(misfetches) * penalties.misfetch +
+               static_cast<double>(mispredicts) * penalties.mispredict;
+    }
+
+    /// Relative CPI against the original program's instruction count.
+    double
+    relativeCpi(std::uint64_t original_instrs) const
+    {
+        return (static_cast<double>(instrs) + bep()) /
+               static_cast<double>(original_instrs);
+    }
+
+    /// Percent of executed conditional branches that fell through.
+    double
+    pctFallThrough() const
+    {
+        if (condExec == 0)
+            return 0.0;
+        return 100.0 * static_cast<double>(condExec - condTaken) /
+               static_cast<double>(condExec);
+    }
+
+    /// Conditional branch prediction accuracy (direction only).
+    double
+    condAccuracy() const
+    {
+        if (condExec == 0)
+            return 0.0;
+        return 100.0 *
+               static_cast<double>(condExec - condMispredicts) /
+               static_cast<double>(condExec);
+    }
+};
+
+/**
+ * Replays a walk against one (layout, architecture) pair. Register sink()
+ * with the walker (use MultiSink to evaluate many configurations from one
+ * walk).
+ */
+class ArchEvaluator : public BranchEventHandler
+{
+  public:
+    /**
+     * @param program the CFG (profile weights used only for LIKELY bits)
+     * @param layout the materialized layout under evaluation; must outlive
+     *        the evaluator
+     * @param params architecture configuration
+     */
+    ArchEvaluator(const Program &program, const ProgramLayout &layout,
+                  const EvalParams &params);
+
+    /// The EventSink to drive with a walk.
+    EventSink &sink() { return adapter_; }
+
+    void onInstrs(std::uint64_t count) override;
+    void onBranch(const BranchEvent &event) override;
+
+    const EvalResult &result() const { return result_; }
+    const EvalParams &params() const { return params_; }
+
+  private:
+    void condBranch(const BranchEvent &event);
+    /// An always-taken break with a decode-time-known target (unconditional
+    /// branch or direct call).
+    void uncondBreak(const BranchEvent &event);
+    void indirectJump(const BranchEvent &event);
+    void returnBranch(const BranchEvent &event);
+
+    EvalParams params_;
+    EvalResult result_;
+    BranchEventAdapter adapter_;
+
+    // Predictor state (only the structures the architecture needs are
+    // constructed).
+    std::unique_ptr<PhtDirect> pht_;
+    std::unique_ptr<Gshare> gshare_;
+    std::unique_ptr<LocalTwoLevel> local_;
+    std::unique_ptr<Btb> btb_;
+    ReturnStack ras_;
+    std::unique_ptr<LikelyBits> likely_;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_BPRED_EVALUATOR_H

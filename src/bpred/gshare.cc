@@ -1,0 +1,32 @@
+#include "bpred/gshare.h"
+
+#include "support/log.h"
+
+namespace balign {
+
+Gshare::Gshare(std::size_t entries, unsigned history_bits,
+               unsigned counter_bits)
+    : table_(entries, SaturatingCounter(counter_bits)),
+      mask_(entries - 1),
+      historyMask_((1ull << history_bits) - 1)
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        panic("Gshare: entries must be a power of two");
+    if (history_bits == 0 || history_bits > 63)
+        panic("Gshare: bad history length %u", history_bits);
+}
+
+bool
+Gshare::predict(Addr site) const
+{
+    return table_[index(site)].taken();
+}
+
+void
+Gshare::update(Addr site, bool taken)
+{
+    table_[index(site)].update(taken);
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & historyMask_;
+}
+
+}  // namespace balign

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Correlation (two-level) pattern history table, the "degenerate" global
+ * scheme of Pan et al. combined with McFarling's XOR indexing (paper §3):
+ * a global history register of the last N conditional branch outcomes is
+ * XORed with the branch address to index a table of 2-bit counters. The
+ * paper simulates a 4096-entry table with a 12-bit history.
+ */
+
+#ifndef BALIGN_BPRED_GSHARE_H
+#define BALIGN_BPRED_GSHARE_H
+
+#include <vector>
+
+#include "support/saturating_counter.h"
+#include "support/types.h"
+
+namespace balign {
+
+class Gshare
+{
+  public:
+    /**
+     * @param entries table size; power of two (paper: 4096)
+     * @param history_bits global history length (paper: 12)
+     * @param counter_bits counter width (paper: 2)
+     */
+    explicit Gshare(std::size_t entries = 4096, unsigned history_bits = 12,
+                    unsigned counter_bits = 2);
+
+    /// Predicted direction for the conditional branch at @p site.
+    bool predict(Addr site) const;
+
+    /// Trains the indexed counter and shifts the outcome into the history.
+    void update(Addr site, bool taken);
+
+    std::size_t numEntries() const { return table_.size(); }
+    std::uint64_t history() const { return history_; }
+
+  private:
+    std::size_t
+    index(Addr site) const
+    {
+        return (site ^ history_) & mask_;
+    }
+
+    std::vector<SaturatingCounter> table_;
+    std::size_t mask_;
+    std::uint64_t historyMask_;
+    std::uint64_t history_ = 0;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_BPRED_GSHARE_H

@@ -1,0 +1,37 @@
+#include "bpred/local2level.h"
+
+#include "support/log.h"
+
+namespace balign {
+
+LocalTwoLevel::LocalTwoLevel(std::size_t history_entries,
+                             unsigned history_bits, unsigned counter_bits)
+    : histories_(history_entries, 0),
+      patterns_(std::size_t{1} << history_bits,
+                SaturatingCounter(counter_bits)),
+      histMask_(history_entries - 1),
+      patternMask_((1u << history_bits) - 1)
+{
+    if (history_entries == 0 ||
+        (history_entries & (history_entries - 1)) != 0)
+        panic("LocalTwoLevel: history entries must be a power of two");
+    if (history_bits == 0 || history_bits > 24)
+        panic("LocalTwoLevel: bad history length %u", history_bits);
+}
+
+bool
+LocalTwoLevel::predict(Addr site) const
+{
+    const std::uint32_t history = histories_[historyIndex(site)];
+    return patterns_[history & patternMask_].taken();
+}
+
+void
+LocalTwoLevel::update(Addr site, bool taken)
+{
+    std::uint32_t &history = histories_[historyIndex(site)];
+    patterns_[history & patternMask_].update(taken);
+    history = ((history << 1) | (taken ? 1u : 0u)) & patternMask_;
+}
+
+}  // namespace balign

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Two-level adaptive predictor with per-branch history (Yeh & Patt's PAg
+ * organization, cited in paper §3): a branch-history table keeps an
+ * N-bit shift register per branch site; the register indexes a shared
+ * pattern table of 2-bit counters. Captures per-branch periodic behaviour
+ * (fixed trip counts) without polluting a global history.
+ *
+ * The paper's Table 4 evaluates the degenerate global scheme; this
+ * predictor is provided as an extension point (Arch::PhtLocal) for the
+ * hardware sweeps and the prediction-accuracy study.
+ */
+
+#ifndef BALIGN_BPRED_LOCAL2LEVEL_H
+#define BALIGN_BPRED_LOCAL2LEVEL_H
+
+#include <vector>
+
+#include "support/saturating_counter.h"
+#include "support/types.h"
+
+namespace balign {
+
+class LocalTwoLevel
+{
+  public:
+    /**
+     * @param history_entries branch-history table size (power of two)
+     * @param history_bits local history length (and log2 of the pattern
+     *        table size)
+     * @param counter_bits pattern-table counter width
+     */
+    explicit LocalTwoLevel(std::size_t history_entries = 1024,
+                           unsigned history_bits = 10,
+                           unsigned counter_bits = 2);
+
+    /// Predicted direction for the conditional branch at @p site.
+    bool predict(Addr site) const;
+
+    /// Trains the pattern counter and shifts the branch's local history.
+    void update(Addr site, bool taken);
+
+    std::size_t numHistoryEntries() const { return histories_.size(); }
+    std::size_t numPatternEntries() const { return patterns_.size(); }
+
+  private:
+    std::size_t historyIndex(Addr site) const { return site & histMask_; }
+
+    std::vector<std::uint32_t> histories_;
+    std::vector<SaturatingCounter> patterns_;
+    std::size_t histMask_;
+    std::uint32_t patternMask_;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_BPRED_LOCAL2LEVEL_H

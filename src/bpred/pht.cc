@@ -1,0 +1,27 @@
+#include "bpred/pht.h"
+
+#include "support/log.h"
+
+namespace balign {
+
+PhtDirect::PhtDirect(std::size_t entries, unsigned counter_bits)
+    : table_(entries, SaturatingCounter(counter_bits)),
+      mask_(entries - 1)
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        panic("PhtDirect: entries must be a power of two");
+}
+
+bool
+PhtDirect::predict(Addr site) const
+{
+    return table_[index(site)].taken();
+}
+
+void
+PhtDirect::update(Addr site, bool taken)
+{
+    table_[index(site)].update(taken);
+}
+
+}  // namespace balign

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Direct-mapped pattern history table (paper §3).
+ *
+ * A table of two-bit saturating up/down counters indexed by the branch site
+ * address. The paper simulates a 4096-entry table (1 KByte of 2-bit
+ * counters, with the correlated variant alongside).
+ */
+
+#ifndef BALIGN_BPRED_PHT_H
+#define BALIGN_BPRED_PHT_H
+
+#include <vector>
+
+#include "support/saturating_counter.h"
+#include "support/types.h"
+
+namespace balign {
+
+class PhtDirect
+{
+  public:
+    /**
+     * @param entries table size; must be a power of two
+     * @param counter_bits counter width (paper: 2)
+     */
+    explicit PhtDirect(std::size_t entries = 4096, unsigned counter_bits = 2);
+
+    /// Predicted direction for the conditional branch at @p site.
+    bool predict(Addr site) const;
+
+    /// Trains the counter with the observed outcome.
+    void update(Addr site, bool taken);
+
+    std::size_t numEntries() const { return table_.size(); }
+
+  private:
+    std::size_t index(Addr site) const { return site & mask_; }
+
+    std::vector<SaturatingCounter> table_;
+    std::size_t mask_;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_BPRED_PHT_H

@@ -1,0 +1,32 @@
+#include "bpred/ras.h"
+
+#include "support/log.h"
+
+namespace balign {
+
+ReturnStack::ReturnStack(std::size_t entries) : stack_(entries, kNoAddr)
+{
+    if (entries == 0)
+        panic("ReturnStack: need at least one entry");
+}
+
+void
+ReturnStack::push(Addr return_addr)
+{
+    stack_[top_] = return_addr;
+    top_ = (top_ + 1) % stack_.size();
+    if (depth_ < stack_.size())
+        ++depth_;
+}
+
+Addr
+ReturnStack::pop()
+{
+    if (depth_ == 0)
+        return kNoAddr;
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    --depth_;
+    return stack_[top_];
+}
+
+}  // namespace balign

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Profile-weighted modelled branch cost of a concrete layout — the
+ * quantity the paper quotes for its worked examples (e.g. Figure 3's
+ * 36,002 vs 27,004 cycles): each branch site's expected cycles under the
+ * architecture cost model, using the realized directions from final
+ * addresses, summed over the CFG weighted by the edge profile.
+ *
+ * This is the aligners' objective function evaluated exactly (with true
+ * directions instead of hints), so it also serves as the oracle for
+ * optimality testing: enumerating all layouts of a small procedure and
+ * minimizing this cost bounds how far a heuristic is from optimal.
+ */
+
+#ifndef BALIGN_BPRED_STATIC_COST_H
+#define BALIGN_BPRED_STATIC_COST_H
+
+#include "bpred/cost_model.h"
+#include "cfg/program.h"
+#include "layout/layout_result.h"
+
+namespace balign {
+
+/// Modelled branch cost (cycles) of @p proc under @p layout.
+double modeledBranchCost(const Procedure &proc, const ProcLayout &layout,
+                         const CostModel &model);
+
+/// Modelled branch cost of the whole program.
+double modeledBranchCost(const Program &program,
+                         const ProgramLayout &layout,
+                         const CostModel &model);
+
+/**
+ * Brute-force reference: materializes every block order of @p proc (entry
+ * first) with the cost-model-aware materializer and returns the minimum
+ * modelled cost. Only feasible for small procedures; panics above
+ * @p max_blocks (default 9 -> at most 8! = 40,320 permutations).
+ */
+double optimalBranchCost(const Procedure &proc, const CostModel &model,
+                         std::size_t max_blocks = 9);
+
+}  // namespace balign
+
+#endif  // BALIGN_BPRED_STATIC_COST_H

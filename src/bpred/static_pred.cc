@@ -1,0 +1,43 @@
+#include "bpred/static_pred.h"
+
+#include "layout/materialize.h"
+
+namespace balign {
+
+LikelyBits::LikelyBits(const Program &program, const ProgramLayout &layout)
+{
+    offsets_.resize(program.numProcs());
+    std::size_t total = 0;
+    for (ProcId p = 0; p < program.numProcs(); ++p) {
+        offsets_[p] = total;
+        total += program.proc(p).numBlocks();
+    }
+    bits_.assign(total, false);
+
+    for (ProcId p = 0; p < program.numProcs(); ++p) {
+        const Procedure &proc = program.proc(p);
+        const ProcLayout &proc_layout = layout.procs[p];
+        for (const auto &block : proc.blocks()) {
+            if (block.term != Terminator::CondBranch)
+                continue;
+            const Edge &taken =
+                proc.edge(static_cast<std::uint32_t>(
+                    proc.takenEdge(block.id)));
+            const Edge &fall =
+                proc.edge(static_cast<std::uint32_t>(
+                    proc.fallThroughEdge(block.id)));
+            const EdgeKind branch_kind =
+                branchTargetKind(proc_layout.blocks[block.id].cond);
+            // Weight of executions where the realized branch is taken.
+            const Weight w_branch = branch_kind == EdgeKind::Taken
+                                        ? taken.weight
+                                        : fall.weight;
+            const Weight w_through = branch_kind == EdgeKind::Taken
+                                         ? fall.weight
+                                         : taken.weight;
+            bits_[offsets_[p] + block.id] = w_branch > w_through;
+        }
+    }
+}
+
+}  // namespace balign

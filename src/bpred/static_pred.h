@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Static branch prediction (paper §3).
+ *
+ *  - FALLTHROUGH: the sequential path is always predicted.
+ *  - BT/FNT: backward branches predicted taken, forward not taken (HP
+ *    PA-RISC / Alpha AXP 21064 style).
+ *  - LIKELY: a per-branch likely/unlikely bit set from profile information
+ *    (Tera style); here computed from the realized majority direction of
+ *    each conditional branch under a given layout, exactly the profile the
+ *    alignment used.
+ */
+
+#ifndef BALIGN_BPRED_STATIC_PRED_H
+#define BALIGN_BPRED_STATIC_PRED_H
+
+#include <vector>
+
+#include "cfg/program.h"
+#include "layout/layout_result.h"
+#include "support/types.h"
+
+namespace balign {
+
+/// FALLTHROUGH model: never predicts taken.
+inline bool
+fallthroughPredictsTaken()
+{
+    return false;
+}
+
+/// BT/FNT model: a branch to an earlier (or equal) address is predicted
+/// taken.
+inline bool
+btFntPredictsTaken(Addr site, Addr target)
+{
+    return target <= site;
+}
+
+/**
+ * Profile-set likely bits for every conditional branch under a given
+ * layout. The bit is the majority *realized* direction: alignment changes
+ * branch senses, and the compiler (or post-processor) would set the bit
+ * after transformation.
+ */
+class LikelyBits
+{
+  public:
+    LikelyBits(const Program &program, const ProgramLayout &layout);
+
+    /// Likely direction of the conditional branch ending @p block.
+    bool
+    taken(ProcId proc, BlockId block) const
+    {
+        return bits_[offsets_[proc] + block];
+    }
+
+  private:
+    std::vector<std::size_t> offsets_;  ///< per-proc offset into bits_
+    std::vector<bool> bits_;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_BPRED_STATIC_PRED_H

@@ -1,0 +1,91 @@
+#include "cfg/builder.h"
+
+#include "support/log.h"
+
+namespace balign {
+
+BlockId
+CfgBuilder::block(std::uint32_t num_instrs, Terminator term)
+{
+    if (num_instrs == 0)
+        panic("CfgBuilder: block must have at least one instruction");
+    return proc_.addBlock(num_instrs, term);
+}
+
+void
+CfgBuilder::checkEdge(BlockId src, EdgeKind kind) const
+{
+    const BasicBlock &block = proc_.block(src);
+    switch (block.term) {
+      case Terminator::FallThrough:
+        if (kind != EdgeKind::FallThrough)
+            panic("block %u (fallthrough) may only have a fall-through edge",
+                  src);
+        if (proc_.fallThroughEdge(src) >= 0)
+            panic("block %u already has a fall-through edge", src);
+        break;
+      case Terminator::CondBranch:
+        if (kind == EdgeKind::Other)
+            panic("block %u (cond) may not have indirect edges", src);
+        if (proc_.findOutEdge(src, kind) >= 0)
+            panic("block %u already has a %s edge", src,
+                  kind == EdgeKind::Taken ? "taken" : "fall-through");
+        break;
+      case Terminator::UncondBranch:
+        if (kind != EdgeKind::Taken)
+            panic("block %u (uncond) may only have a taken edge", src);
+        if (proc_.takenEdge(src) >= 0)
+            panic("block %u already has a taken edge", src);
+        break;
+      case Terminator::IndirectJump:
+        if (kind != EdgeKind::Other)
+            panic("block %u (indirect) may only have Other edges", src);
+        break;
+      case Terminator::Return:
+        panic("block %u (return) may not have out-edges", src);
+    }
+}
+
+CfgBuilder &
+CfgBuilder::taken(BlockId src, BlockId dst, Weight weight, double bias)
+{
+    checkEdge(src, EdgeKind::Taken);
+    proc_.addEdge(src, dst, EdgeKind::Taken, weight, bias);
+    return *this;
+}
+
+CfgBuilder &
+CfgBuilder::fallThrough(BlockId src, BlockId dst, Weight weight, double bias)
+{
+    checkEdge(src, EdgeKind::FallThrough);
+    proc_.addEdge(src, dst, EdgeKind::FallThrough, weight, bias);
+    return *this;
+}
+
+CfgBuilder &
+CfgBuilder::other(BlockId src, BlockId dst, Weight weight, double bias)
+{
+    checkEdge(src, EdgeKind::Other);
+    proc_.addEdge(src, dst, EdgeKind::Other, weight, bias);
+    return *this;
+}
+
+CfgBuilder &
+CfgBuilder::call(BlockId src, ProcId callee, std::uint32_t offset)
+{
+    BasicBlock &block = proc_.block(src);
+    if (offset >= block.numInstrs)
+        panic("call offset %u beyond block %u (size %u)", offset, src,
+              block.numInstrs);
+    block.calls.push_back(CallSite{callee, offset});
+    return *this;
+}
+
+CfgBuilder &
+CfgBuilder::entry(BlockId entry)
+{
+    proc_.setEntry(entry);
+    return *this;
+}
+
+}  // namespace balign

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fluent builder for constructing procedure CFGs by hand (tests, the paper's
+ * figure examples) or programmatically (the workload generator).
+ *
+ * Usage:
+ * @code
+ *   CfgBuilder b(proc);
+ *   auto head = b.block(4, Terminator::CondBranch);
+ *   auto body = b.block(11, Terminator::UncondBranch);
+ *   auto exit = b.block(2, Terminator::Return);
+ *   b.taken(head, body, 9000);       // weight 9000
+ *   b.fallThrough(head, exit, 1000);
+ *   b.taken(body, head, 9000);
+ * @endcode
+ *
+ * The builder checks structural rules as edges are added (a CondBranch block
+ * gets exactly one taken and one fall-through edge, etc.); full validation
+ * lives in cfg/validate.h.
+ */
+
+#ifndef BALIGN_CFG_BUILDER_H
+#define BALIGN_CFG_BUILDER_H
+
+#include "cfg/procedure.h"
+
+namespace balign {
+
+class CfgBuilder
+{
+  public:
+    /// Builds into an existing (typically empty) procedure.
+    explicit CfgBuilder(Procedure &proc) : proc_(proc) {}
+
+    /// Adds a block of @p num_instrs instructions ending with @p term.
+    BlockId block(std::uint32_t num_instrs, Terminator term);
+
+    /// Adds a taken edge with a profile weight and optional walk bias.
+    CfgBuilder &taken(BlockId src, BlockId dst, Weight weight = 0,
+                      double bias = 0.0);
+
+    /// Adds a fall-through edge with a profile weight and optional bias.
+    CfgBuilder &fallThrough(BlockId src, BlockId dst, Weight weight = 0,
+                            double bias = 0.0);
+
+    /// Adds an indirect-target edge (weight ignored by alignment).
+    CfgBuilder &other(BlockId src, BlockId dst, Weight weight = 0,
+                      double bias = 0.0);
+
+    /// Records a call site at @p offset instructions into @p src.
+    CfgBuilder &call(BlockId src, ProcId callee, std::uint32_t offset = 0);
+
+    /// Marks the entry block (defaults to block 0).
+    CfgBuilder &entry(BlockId entry);
+
+    Procedure &proc() { return proc_; }
+
+  private:
+    void checkEdge(BlockId src, EdgeKind kind) const;
+
+    Procedure &proc_;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_CFG_BUILDER_H

@@ -1,0 +1,68 @@
+#include "cfg/dot.h"
+
+#include <sstream>
+
+#include "support/stats.h"
+#include "support/table.h"
+
+namespace balign {
+
+void
+writeDot(const Procedure &proc, std::ostream &os, const DotOptions &options)
+{
+    os << "digraph \"" << proc.name() << "\" {\n";
+    os << "  node [shape=box, fontname=\"Helvetica\"];\n";
+    for (const auto &block : proc.blocks()) {
+        os << "  n" << block.id << " [label=\"" << block.id << " ("
+           << block.numInstrs << ")";
+        if (block.term == Terminator::Return)
+            os << "\\nret";
+        else if (block.term == Terminator::IndirectJump)
+            os << "\\nijmp";
+        os << "\"";
+        if (block.id == proc.entry())
+            os << ", peripheries=2";
+        os << "];\n";
+    }
+    const double total = static_cast<double>(proc.totalEdgeWeight());
+    for (const auto &edge : proc.edges()) {
+        os << "  n" << edge.src << " -> n" << edge.dst << " [";
+        switch (edge.kind) {
+          case EdgeKind::FallThrough:
+            os << "style=bold";
+            break;
+          case EdgeKind::Taken:
+            os << "style=dashed";
+            break;
+          case EdgeKind::Other:
+            os << "style=dotted";
+            break;
+        }
+        std::string label;
+        if (options.percentLabels && total > 0) {
+            const double percent =
+                pct(static_cast<double>(edge.weight), total);
+            if (percent >= options.minLabelPct)
+                label = fixed(percent, 0);
+        }
+        if (options.rawWeights) {
+            if (!label.empty())
+                label += " / ";
+            label += withCommas(edge.weight);
+        }
+        if (!label.empty())
+            os << ", label=\"" << label << "\"";
+        os << "];\n";
+    }
+    os << "}\n";
+}
+
+std::string
+toDot(const Procedure &proc, const DotOptions &options)
+{
+    std::ostringstream os;
+    writeDot(proc, os, options);
+    return os.str();
+}
+
+}  // namespace balign

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Graphviz export of procedure CFGs, in the visual style of the paper's
+ * figures: fall-through edges solid/bold, taken edges dashed, indirect
+ * edges dotted; nodes labelled "id (numInstrs)"; edges labelled with their
+ * percentage of all edge transitions in the procedure.
+ */
+
+#ifndef BALIGN_CFG_DOT_H
+#define BALIGN_CFG_DOT_H
+
+#include <ostream>
+#include <string>
+
+#include "cfg/procedure.h"
+
+namespace balign {
+
+/// Options controlling dot output.
+struct DotOptions
+{
+    /// Label edges with percent-of-procedure-transitions (paper style).
+    bool percentLabels = true;
+    /// Suppress labels for edges below this percentage (paper: < 1%).
+    double minLabelPct = 1.0;
+    /// Include raw weights in edge labels.
+    bool rawWeights = false;
+};
+
+/// Writes @p proc as a dot digraph to @p os.
+void writeDot(const Procedure &proc, std::ostream &os,
+              const DotOptions &options = {});
+
+/// Renders @p proc as a dot digraph string.
+std::string toDot(const Procedure &proc, const DotOptions &options = {});
+
+}  // namespace balign
+
+#endif  // BALIGN_CFG_DOT_H

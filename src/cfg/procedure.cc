@@ -1,0 +1,95 @@
+#include "cfg/procedure.h"
+
+#include "support/log.h"
+
+namespace balign {
+
+const char *
+terminatorName(Terminator term)
+{
+    switch (term) {
+      case Terminator::FallThrough: return "fallthrough";
+      case Terminator::CondBranch: return "cond";
+      case Terminator::UncondBranch: return "uncond";
+      case Terminator::IndirectJump: return "indirect";
+      case Terminator::Return: return "return";
+    }
+    return "?";
+}
+
+BlockId
+Procedure::addBlock(std::uint32_t num_instrs, Terminator term)
+{
+    BasicBlock block;
+    block.id = static_cast<BlockId>(blocks_.size());
+    block.numInstrs = num_instrs;
+    block.term = term;
+    blocks_.push_back(std::move(block));
+    return blocks_.back().id;
+}
+
+std::uint32_t
+Procedure::addEdge(BlockId src, BlockId dst, EdgeKind kind, Weight weight,
+                   double bias)
+{
+    if (src >= blocks_.size() || dst >= blocks_.size())
+        panic("addEdge: block out of range (src=%u dst=%u n=%zu)", src, dst,
+              blocks_.size());
+    Edge edge;
+    edge.src = src;
+    edge.dst = dst;
+    edge.kind = kind;
+    edge.weight = weight;
+    edge.bias = bias;
+    const auto index = static_cast<std::uint32_t>(edges_.size());
+    edges_.push_back(edge);
+    blocks_[src].outEdges.push_back(index);
+    blocks_[dst].inEdges.push_back(index);
+    return index;
+}
+
+std::int64_t
+Procedure::findOutEdge(BlockId src, EdgeKind kind) const
+{
+    for (auto index : blocks_[src].outEdges) {
+        if (edges_[index].kind == kind)
+            return index;
+    }
+    return -1;
+}
+
+std::uint64_t
+Procedure::totalInstrs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &block : blocks_)
+        total += block.numInstrs;
+    return total;
+}
+
+Weight
+Procedure::totalEdgeWeight() const
+{
+    Weight total = 0;
+    for (const auto &edge : edges_)
+        total += edge.weight;
+    return total;
+}
+
+void
+Procedure::clearWeights()
+{
+    for (auto &edge : edges_)
+        edge.weight = 0;
+}
+
+Weight
+Procedure::blockWeight(BlockId id) const
+{
+    Weight total = 0;
+    for (auto index : blocks_[id].inEdges)
+        total += edges_[index].weight;
+    return total;
+}
+
+}  // namespace balign

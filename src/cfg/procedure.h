@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Procedure: a control-flow graph of basic blocks with weighted edges.
+ */
+
+#ifndef BALIGN_CFG_PROCEDURE_H
+#define BALIGN_CFG_PROCEDURE_H
+
+#include <string>
+#include <vector>
+
+#include "cfg/basic_block.h"
+#include "support/types.h"
+
+namespace balign {
+
+/**
+ * A procedure's control-flow graph.
+ *
+ * Blocks are stored densely; the block vector order is the ORIGINAL layout
+ * order (the order a compiler emitted them), which defines the baseline the
+ * alignment algorithms improve on. Block 0 is the entry unless overridden.
+ */
+class Procedure
+{
+  public:
+    Procedure() = default;
+    Procedure(ProcId id, std::string name) : id_(id), name_(std::move(name)) {}
+
+    ProcId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    void setId(ProcId id) { id_ = id; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    BlockId entry() const { return entry_; }
+    void setEntry(BlockId entry) { entry_ = entry; }
+
+    std::size_t numBlocks() const { return blocks_.size(); }
+    std::size_t numEdges() const { return edges_.size(); }
+
+    const BasicBlock &block(BlockId id) const { return blocks_[id]; }
+    BasicBlock &block(BlockId id) { return blocks_[id]; }
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    std::vector<BasicBlock> &blocks() { return blocks_; }
+
+    const Edge &edge(std::uint32_t index) const { return edges_[index]; }
+    Edge &edge(std::uint32_t index) { return edges_[index]; }
+
+    const std::vector<Edge> &edges() const { return edges_; }
+    std::vector<Edge> &edges() { return edges_; }
+
+    /// Appends a block; returns its id.
+    BlockId addBlock(std::uint32_t num_instrs, Terminator term);
+
+    /// Appends an edge and wires it into both endpoint blocks.
+    std::uint32_t addEdge(BlockId src, BlockId dst, EdgeKind kind,
+                          Weight weight = 0, double bias = 0.0);
+
+    /**
+     * Index of the outgoing edge of @p src with the given kind, or -1 if
+     * absent. CondBranch blocks have exactly one Taken and one FallThrough
+     * edge; UncondBranch one Taken; FallThrough-terminated one FallThrough.
+     */
+    std::int64_t findOutEdge(BlockId src, EdgeKind kind) const;
+
+    /// Taken-edge index of @p src or -1.
+    std::int64_t takenEdge(BlockId src) const
+    {
+        return findOutEdge(src, EdgeKind::Taken);
+    }
+
+    /// Fall-through-edge index of @p src or -1.
+    std::int64_t fallThroughEdge(BlockId src) const
+    {
+        return findOutEdge(src, EdgeKind::FallThrough);
+    }
+
+    /// Total static instruction count over all blocks (original layout).
+    std::uint64_t totalInstrs() const;
+
+    /// Sum of all edge weights (dynamic transition count).
+    Weight totalEdgeWeight() const;
+
+    /// Resets every edge weight to zero (before re-profiling).
+    void clearWeights();
+
+    /// Number of executions of a block = sum of in-edge weights
+    /// (entry blocks also count calls; see Program-level accounting).
+    Weight blockWeight(BlockId id) const;
+
+  private:
+    ProcId id_ = kNoProc;
+    std::string name_;
+    BlockId entry_ = 0;
+    std::vector<BasicBlock> blocks_;
+    std::vector<Edge> edges_;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_CFG_PROCEDURE_H

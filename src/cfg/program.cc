@@ -1,0 +1,29 @@
+#include "cfg/program.h"
+
+namespace balign {
+
+ProcId
+Program::addProc(std::string name)
+{
+    const auto id = static_cast<ProcId>(procs_.size());
+    procs_.emplace_back(id, std::move(name));
+    return id;
+}
+
+std::uint64_t
+Program::totalInstrs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &proc : procs_)
+        total += proc.totalInstrs();
+    return total;
+}
+
+void
+Program::clearWeights()
+{
+    for (auto &proc : procs_)
+        proc.clearWeights();
+}
+
+}  // namespace balign

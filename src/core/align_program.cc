@@ -1,0 +1,63 @@
+#include "core/align_program.h"
+
+#include <algorithm>
+
+#include "layout/materialize.h"
+#include "support/log.h"
+
+namespace balign {
+
+ProgramLayout
+alignProgram(const Program &program, const Aligner &aligner,
+             const CostModel *model, const AlignOptions &options)
+{
+    MaterializeOptions mat;
+    if (aligner.wantsCostModelMaterialization()) {
+        if (model == nullptr)
+            panic("alignProgram: aligner %s needs a cost model",
+                  aligner.name().c_str());
+        mat.costModel = model;
+    }
+
+    const unsigned iterations =
+        aligner.wantsCostModelMaterialization()
+            ? std::max(1u, options.directionIterations)
+            : 1;
+
+    ProgramLayout layout;
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        std::vector<std::vector<BlockId>> orders;
+        orders.reserve(program.numProcs());
+        for (const auto &proc : program.procs()) {
+            // Later iterations refine the direction hints with the
+            // previous layout's block positions (paper §6: branch
+            // directions are unknowable until chains are placed).
+            std::vector<std::uint32_t> positions;
+            DirOracle oracle;
+            if (iter > 0) {
+                const ProcLayout &prev = layout.procs[proc.id()];
+                positions.resize(proc.numBlocks());
+                for (BlockId b = 0; b < proc.numBlocks(); ++b)
+                    positions[b] = prev.blocks[b].orderIndex;
+                oracle = DirOracle(&positions);
+            }
+            const ChainSet chains = aligner.alignProc(proc, oracle);
+            orders.push_back(
+                orderChains(proc, chains, options.chainOrder));
+        }
+        layout = materializeProgram(program, orders, mat);
+    }
+    return layout;
+}
+
+ProgramLayout
+alignProgram(const Program &program, AlignerKind kind, const CostModel *model,
+             const AlignOptions &options)
+{
+    if (kind == AlignerKind::Original)
+        return originalLayout(program);
+    const auto aligner = makeAligner(kind, model, options);
+    return alignProgram(program, *aligner, model, options);
+}
+
+}  // namespace balign

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Program-level alignment driver: runs an alignment algorithm over every
+ * procedure (the paper aligns each procedure independently; no procedure
+ * splitting or reordering), orders the chains, and materializes the final
+ * binary layout.
+ */
+
+#ifndef BALIGN_CORE_ALIGN_PROGRAM_H
+#define BALIGN_CORE_ALIGN_PROGRAM_H
+
+#include "cfg/program.h"
+#include "core/aligner.h"
+#include "layout/layout_result.h"
+
+namespace balign {
+
+/**
+ * Aligns @p program for the architecture described by @p model.
+ *
+ * @param kind which algorithm (Original returns the identity layout)
+ * @param model architecture cost model (unused by Original/Greedy)
+ * @param options algorithm and chain-ordering options
+ */
+ProgramLayout alignProgram(const Program &program, AlignerKind kind,
+                           const CostModel *model,
+                           const AlignOptions &options = {});
+
+/**
+ * Aligns @p program with an existing aligner instance (for custom
+ * configurations / ablations).
+ */
+ProgramLayout alignProgram(const Program &program, const Aligner &aligner,
+                           const CostModel *model,
+                           const AlignOptions &options = {});
+
+}  // namespace balign
+
+#endif  // BALIGN_CORE_ALIGN_PROGRAM_H

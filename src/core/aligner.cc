@@ -1,0 +1,106 @@
+#include "core/aligner.h"
+
+#include <algorithm>
+
+#include "core/cost_align.h"
+#include "core/greedy.h"
+#include "core/try15.h"
+#include "support/log.h"
+
+namespace balign {
+
+const char *
+alignerKindName(AlignerKind kind)
+{
+    switch (kind) {
+      case AlignerKind::Original: return "original";
+      case AlignerKind::Greedy: return "greedy";
+      case AlignerKind::Cost: return "cost";
+      case AlignerKind::Try15: return "try15";
+    }
+    return "?";
+}
+
+double
+blockAlignCost(const Procedure &proc, const CostModel &model, BlockId id,
+               BlockId next, const DirOracle &oracle, BlockId prev)
+{
+    auto idDir = [&](BlockId target, BlockId src) {
+        if (target == prev && prev != kNoBlock)
+            return DirHint::Backward;  // chain predecessor: placed before
+        return oracle.dir(target, src);
+    };
+    const BasicBlock &block = proc.block(id);
+    switch (block.term) {
+      case Terminator::CondBranch: {
+        const Edge &taken =
+            proc.edge(static_cast<std::uint32_t>(proc.takenEdge(id)));
+        const Edge &fall =
+            proc.edge(static_cast<std::uint32_t>(proc.fallThroughEdge(id)));
+        const DirHint dir_taken = idDir(taken.dst, id);
+        const DirHint dir_fall = idDir(fall.dst, id);
+        if (next == fall.dst) {
+            return model.condRealizationCost(taken.weight, fall.weight,
+                                             CondRealization::FallAdjacent,
+                                             dir_taken, dir_fall);
+        }
+        if (next == taken.dst) {
+            return model.condRealizationCost(taken.weight, fall.weight,
+                                             CondRealization::TakenAdjacent,
+                                             dir_taken, dir_fall);
+        }
+        // Unlinked (or linked to a non-successor, which chains never do):
+        // the materializer will pick the cheaper branch-plus-jump form.
+        const double to_fall = model.condRealizationCost(
+            taken.weight, fall.weight, CondRealization::NeitherJumpToFall,
+            dir_taken, dir_fall);
+        const double to_taken = model.condRealizationCost(
+            taken.weight, fall.weight, CondRealization::NeitherJumpToTaken,
+            dir_taken, dir_fall);
+        return std::min(to_fall, to_taken);
+      }
+      case Terminator::UncondBranch: {
+        const Edge &taken =
+            proc.edge(static_cast<std::uint32_t>(proc.takenEdge(id)));
+        if (next == taken.dst)
+            return model.singleExitAdjacentCost();
+        return model.singleExitJumpCost(taken.weight);
+      }
+      case Terminator::FallThrough: {
+        const std::int64_t fall_index = proc.fallThroughEdge(id);
+        if (fall_index < 0)
+            return 0.0;
+        const Edge &fall = proc.edge(static_cast<std::uint32_t>(fall_index));
+        if (next == fall.dst)
+            return model.singleExitAdjacentCost();
+        return model.singleExitJumpCost(fall.weight);
+      }
+      case Terminator::IndirectJump:
+      case Terminator::Return:
+        return 0.0;  // alignment cannot change these
+    }
+    panic("blockAlignCost: bad terminator");
+}
+
+std::unique_ptr<Aligner>
+makeAligner(AlignerKind kind, const CostModel *model,
+            const AlignOptions &options)
+{
+    switch (kind) {
+      case AlignerKind::Original:
+        return nullptr;  // handled by the driver (identity layout)
+      case AlignerKind::Greedy:
+        return std::make_unique<GreedyAligner>();
+      case AlignerKind::Cost:
+        if (model == nullptr)
+            panic("makeAligner: Cost aligner needs a cost model");
+        return std::make_unique<CostAligner>(*model);
+      case AlignerKind::Try15:
+        if (model == nullptr)
+            panic("makeAligner: Try15 aligner needs a cost model");
+        return std::make_unique<Try15Aligner>(*model, options);
+    }
+    panic("makeAligner: bad kind");
+}
+
+}  // namespace balign

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Branch-alignment algorithm interface (paper §4) and the shared
+ * cost-estimation helper all cost-aware aligners use.
+ *
+ * An aligner decides, per procedure, which CFG edges become realized
+ * fall-throughs (the chain structure). Chain ordering and binary
+ * materialization are separate stages (layout/chain_order.h,
+ * layout/materialize.h); the program-level driver in align_program.h wires
+ * everything together.
+ */
+
+#ifndef BALIGN_CORE_ALIGNER_H
+#define BALIGN_CORE_ALIGNER_H
+
+#include <memory>
+#include <string>
+
+#include "bpred/cost_model.h"
+#include "cfg/procedure.h"
+#include "layout/chain.h"
+#include "layout/chain_order.h"
+
+namespace balign {
+
+/// The alignment algorithms studied in the paper.
+enum class AlignerKind : std::uint8_t {
+    Original,  ///< identity layout (no reordering)
+    Greedy,    ///< Pettis & Hansen bottom-up chaining
+    Cost,      ///< greedy chaining guided by the architecture cost model
+    Try15,     ///< group-exhaustive search over the hottest edges
+};
+
+/// Printable kind name.
+const char *alignerKindName(AlignerKind kind);
+
+/// Options shared by the aligners and the program driver.
+struct AlignOptions
+{
+    /// Chain concatenation policy (paper §6.1; hot-first is the default
+    /// used for all simulations except the dedicated BT/FNT ordering).
+    ChainOrderPolicy chainOrder = ChainOrderPolicy::HotFirst;
+
+    /// Group size for the TryN search (paper: 15; 10 is slightly worse but
+    /// faster).
+    std::size_t groupSize = 15;
+
+    /// TryN ignores edges executed fewer than this many times (paper §4:
+    /// "we only examined edges that were executed more than once").
+    Weight minEdgeWeight = 2;
+
+    /// TryN considers at most this cumulative weight fraction of the
+    /// considered edges (paper §4 suggests 99% as a further speedup; 1.0
+    /// disables the cut).
+    double coverageFraction = 1.0;
+
+    /// Safety valve for enormous procedures: maximum number of TryN groups
+    /// per procedure (0 = unlimited).
+    std::size_t maxGroups = 0;
+
+    /**
+     * Direction-refinement iterations for cost-aware aligners (>= 1).
+     * BT/FNT costs depend on branch direction, which is circular: it is
+     * only known after placement (paper §6). With more than one
+     * iteration, alignment is repeated using the previous iteration's
+     * layout positions as direction hints, which recovers rotations the
+     * id-based hints undervalue.
+     */
+    unsigned directionIterations = 1;
+};
+
+/**
+ * Direction oracle for alignment-time cost estimation. Without a position
+ * table it falls back to original block ids (approximate source order); a
+ * position table from a previous layout iteration gives exact hints for
+ * that layout.
+ */
+class DirOracle
+{
+  public:
+    DirOracle() = default;
+    explicit DirOracle(const std::vector<std::uint32_t> *positions)
+        : positions_(positions)
+    {
+    }
+
+    DirHint
+    dir(BlockId target, BlockId src) const
+    {
+        if (positions_ == nullptr)
+            return target <= src ? DirHint::Backward : DirHint::Forward;
+        return (*positions_)[target] <= (*positions_)[src]
+                   ? DirHint::Backward
+                   : DirHint::Forward;
+    }
+
+  private:
+    const std::vector<std::uint32_t> *positions_ = nullptr;
+};
+
+/**
+ * Estimated branch cost (cycles) of block @p id under the cost model, given
+ * its current chain successor @p next (kNoBlock when unlinked) and chain
+ * predecessor @p prev.
+ *
+ * Direction hints come from @p oracle (original block ids by default,
+ * approximating source order), except that a successor equal to @p prev is
+ * known to be BACKWARD — the key signal that makes loop rotations (chain
+ * [.., latch, head]) attractive under BT/FNT, where the inverted head
+ * branch to the latch is predicted taken. An unlinked conditional block is
+ * priced at its best branch-plus-jump realization, which is what the
+ * cost-model-aware materializer will emit.
+ */
+double blockAlignCost(const Procedure &proc, const CostModel &model,
+                      BlockId id, BlockId next,
+                      const DirOracle &oracle = DirOracle(),
+                      BlockId prev = kNoBlock);
+
+/// Alignment algorithm interface: produces the chain structure of one
+/// procedure.
+class Aligner
+{
+  public:
+    virtual ~Aligner() = default;
+
+    /// Human-readable name ("greedy", "cost", "try15").
+    virtual std::string name() const = 0;
+
+    /// Builds chains for @p proc from its edge profile, with direction
+    /// hints from @p oracle (cost-aware aligners only).
+    virtual ChainSet alignProc(const Procedure &proc,
+                               const DirOracle &oracle) const = 0;
+
+    /// Convenience: id-based direction hints.
+    ChainSet
+    alignProc(const Procedure &proc) const
+    {
+        return alignProc(proc, DirOracle());
+    }
+
+    /// True when the materializer should use the architecture cost model
+    /// (Cost and TryN; the Greedy baseline is cost-blind).
+    virtual bool wantsCostModelMaterialization() const = 0;
+};
+
+/**
+ * Creates an aligner. @p model may be null only for Original/Greedy.
+ * The model must outlive the aligner.
+ */
+std::unique_ptr<Aligner> makeAligner(AlignerKind kind, const CostModel *model,
+                                     const AlignOptions &options = {});
+
+}  // namespace balign
+
+#endif  // BALIGN_CORE_ALIGNER_H

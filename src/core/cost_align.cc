@@ -1,0 +1,84 @@
+#include "core/cost_align.h"
+
+#include <limits>
+
+#include "core/greedy.h"
+
+namespace balign {
+
+ChainSet
+CostAligner::alignProc(const Procedure &proc, const DirOracle &oracle) const
+{
+    ChainSet chains(proc.numBlocks(), proc.entry());
+
+    for (std::uint32_t index : alignableEdgesByWeight(proc)) {
+        const Edge &edge = proc.edge(index);
+        const BlockId src = edge.src;
+        const BlockId dst = edge.dst;
+        if (!chains.canLink(src, dst))
+            continue;
+
+        const BlockId src_prev = chains.prev(src);
+        const double cost_unlinked =
+            blockAlignCost(proc, model_, src, kNoBlock, oracle, src_prev);
+        // Linking also makes src the chain predecessor of dst.
+        const double cost_linked =
+            blockAlignCost(proc, model_, src, dst, oracle, src_prev) +
+            blockAlignCost(proc, model_, dst, chains.next(dst), oracle,
+                           src) -
+            blockAlignCost(proc, model_, dst, chains.next(dst), oracle,
+                           chains.prev(dst));
+
+        // Option: link the sibling edge instead (conditional blocks only).
+        double cost_sibling = std::numeric_limits<double>::infinity();
+        if (proc.block(src).term == Terminator::CondBranch) {
+            const auto taken_index =
+                static_cast<std::uint32_t>(proc.takenEdge(src));
+            const auto fall_index =
+                static_cast<std::uint32_t>(proc.fallThroughEdge(src));
+            const Edge &sibling = index == taken_index
+                                      ? proc.edge(fall_index)
+                                      : proc.edge(taken_index);
+            if (chains.canLink(src, sibling.dst)) {
+                cost_sibling = blockAlignCost(proc, model_, src,
+                                              sibling.dst, oracle,
+                                              src_prev);
+            }
+        }
+
+        // Not linking (letting the materializer insert a jump, or leaving
+        // the slot for the sibling) may be cheaper — e.g. a hot single-
+        // block loop on the FALLTHROUGH architecture.
+        if (cost_unlinked <= cost_linked || cost_sibling < cost_linked)
+            continue;
+
+        // Would another predecessor of D profit more from the slot?
+        const double benefit = cost_unlinked - cost_linked;
+        bool better_pred = false;
+        for (std::uint32_t in_index : proc.block(dst).inEdges) {
+            const Edge &in_edge = proc.edge(in_index);
+            if (in_edge.src == src)
+                continue;
+            if (in_edge.kind == EdgeKind::Other)
+                continue;
+            if (!chains.canLink(in_edge.src, dst))
+                continue;
+            const BlockId pred_prev = chains.prev(in_edge.src);
+            const double pred_unlinked = blockAlignCost(
+                proc, model_, in_edge.src, kNoBlock, oracle, pred_prev);
+            const double pred_linked = blockAlignCost(
+                proc, model_, in_edge.src, dst, oracle, pred_prev);
+            if (pred_unlinked - pred_linked > benefit) {
+                better_pred = true;
+                break;
+            }
+        }
+        if (better_pred)
+            continue;
+
+        chains.link(src, dst);
+    }
+    return chains;
+}
+
+}  // namespace balign

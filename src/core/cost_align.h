@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The Cost alignment algorithm (paper §4).
+ *
+ * Like the Greedy algorithm, edges are visited in decreasing weight order,
+ * but before linking S -> D the architecture cost model is consulted:
+ *
+ *  - the three possible realizations of a conditional source block are
+ *    compared (link this edge, link the sibling edge, or link neither and
+ *    let the materializer insert a jump — the loop transformation);
+ *  - every other predecessor of D is examined to see whether connecting D
+ *    to it instead would save more cycles, in which case the link is left
+ *    for that predecessor's edge;
+ *  - the link is made only when it is locally profitable.
+ */
+
+#ifndef BALIGN_CORE_COST_ALIGN_H
+#define BALIGN_CORE_COST_ALIGN_H
+
+#include "core/aligner.h"
+
+namespace balign {
+
+class CostAligner : public Aligner
+{
+  public:
+    explicit CostAligner(const CostModel &model) : model_(model) {}
+
+    std::string name() const override { return "cost"; }
+    using Aligner::alignProc;
+    ChainSet alignProc(const Procedure &proc,
+                       const DirOracle &oracle) const override;
+    bool wantsCostModelMaterialization() const override { return true; }
+
+  private:
+    const CostModel &model_;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_CORE_COST_ALIGN_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The TryN ("Try15") alignment algorithm (paper §4).
+ *
+ * Exhaustive search balanced against time: the N most frequently executed
+ * alignable edges are taken as a group and every consistent combination of
+ * "realize this edge as a fall-through link" decisions is evaluated under
+ * the architecture cost model; the minimum-cost combination is committed,
+ * then the next N edges are processed, and so on. Per-node possibilities
+ * match the paper: a single-exit block's edge may become a fall-through or
+ * stay a taken jump; a conditional block may align either out-edge or
+ * neither (branch plus inserted jump — the loop transformation).
+ *
+ * Edges executed fewer than minEdgeWeight times are ignored (paper §4), and
+ * an optional cumulative-coverage cut (99% is suggested in the paper)
+ * bounds the search on enormous procedures. A final greedy tidy pass links
+ * the remaining cold edges when doing so cannot increase the modelled cost.
+ *
+ * The search backtracks over an undoable ChainSet with an incrementally
+ * maintained cost sum, so each search node costs O(1) beyond the link
+ * itself.
+ */
+
+#ifndef BALIGN_CORE_TRY15_H
+#define BALIGN_CORE_TRY15_H
+
+#include "core/aligner.h"
+
+namespace balign {
+
+class Try15Aligner : public Aligner
+{
+  public:
+    Try15Aligner(const CostModel &model, const AlignOptions &options)
+        : model_(model), options_(options)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return "try" + std::to_string(options_.groupSize);
+    }
+
+    using Aligner::alignProc;
+    ChainSet alignProc(const Procedure &proc,
+                       const DirOracle &oracle) const override;
+    bool wantsCostModelMaterialization() const override { return true; }
+
+    const AlignOptions &options() const { return options_; }
+
+  private:
+    const CostModel &model_;
+    AlignOptions options_;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_CORE_TRY15_H

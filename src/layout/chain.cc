@@ -1,0 +1,112 @@
+#include "layout/chain.h"
+
+#include "support/log.h"
+
+namespace balign {
+
+ChainSet::ChainSet(std::size_t num_blocks, BlockId entry)
+    : entry_(entry),
+      next_(num_blocks, kNoBlock),
+      prev_(num_blocks, kNoBlock),
+      head_(num_blocks),
+      tail_(num_blocks)
+{
+    if (entry >= num_blocks && num_blocks > 0)
+        panic("ChainSet: entry %u out of range", entry);
+    for (std::size_t i = 0; i < num_blocks; ++i) {
+        head_[i] = static_cast<BlockId>(i);
+        tail_[i] = static_cast<BlockId>(i);
+    }
+}
+
+bool
+ChainSet::canLink(BlockId src, BlockId dst) const
+{
+    if (src >= next_.size() || dst >= next_.size())
+        return false;
+    if (src == dst)
+        return false;
+    if (dst == entry_)
+        return false;  // the entry block must remain a chain head
+    if (next_[src] != kNoBlock)
+        return false;  // src already has a layout successor
+    if (prev_[dst] != kNoBlock)
+        return false;  // dst already has a layout predecessor
+    if (head_[src] == dst)
+        return false;  // would close a cycle
+    return true;
+}
+
+bool
+ChainSet::link(BlockId src, BlockId dst)
+{
+    if (!canLink(src, dst))
+        return false;
+    const BlockId chain_head = head_[src];   // src is a tail: authoritative
+    const BlockId chain_tail = tail_[dst];   // dst is a head: authoritative
+    next_[src] = dst;
+    prev_[dst] = src;
+    head_[chain_tail] = chain_head;
+    tail_[chain_head] = chain_tail;
+    ++links_;
+    return true;
+}
+
+void
+ChainSet::unlink(BlockId src, BlockId dst)
+{
+    if (next_[src] != dst || prev_[dst] != src)
+        panic("unlink(%u,%u): not linked", src, dst);
+    next_[src] = kNoBlock;
+    prev_[dst] = kNoBlock;
+    // head_[src] and tail_[dst] were untouched by the link (LIFO contract),
+    // so they still describe the split chains; restore the endpoints.
+    tail_[head_[src]] = src;
+    head_[tail_[dst]] = dst;
+    --links_;
+}
+
+BlockId
+ChainSet::head(BlockId block) const
+{
+    if (next_[block] == kNoBlock)
+        return head_[block];  // endpoint: O(1)
+    BlockId cur = block;
+    while (prev_[cur] != kNoBlock)
+        cur = prev_[cur];
+    return cur;
+}
+
+BlockId
+ChainSet::tail(BlockId block) const
+{
+    if (prev_[block] == kNoBlock)
+        return tail_[block];  // endpoint: O(1)
+    BlockId cur = block;
+    while (next_[cur] != kNoBlock)
+        cur = next_[cur];
+    return cur;
+}
+
+bool
+ChainSet::sameChain(BlockId a, BlockId b) const
+{
+    return head(a) == head(b);
+}
+
+std::vector<std::vector<BlockId>>
+ChainSet::chains() const
+{
+    std::vector<std::vector<BlockId>> result;
+    for (BlockId b = 0; b < next_.size(); ++b) {
+        if (prev_[b] != kNoBlock)
+            continue;  // not a head
+        std::vector<BlockId> chain;
+        for (BlockId cur = b; cur != kNoBlock; cur = next_[cur])
+            chain.push_back(cur);
+        result.push_back(std::move(chain));
+    }
+    return result;
+}
+
+}  // namespace balign

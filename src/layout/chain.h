@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Pettis–Hansen chains: disjoint simple paths of basic blocks linked by
+ * realized fall-through edges.
+ *
+ * A chain link S -> D means D will be laid out immediately after S, so the
+ * CFG edge S -> D is realized as a fall-through. Links may only be created
+ * when S has no successor link, D has no predecessor link, D is not the
+ * procedure entry (the entry must stay first in its procedure), and S and D
+ * are not already in the same chain (which would close a cycle).
+ *
+ * All operations are O(1): each chain's head block knows its tail and vice
+ * versa. The set supports undoable links (strict LIFO order) so the Try15
+ * aligner can backtrack over candidate link subsets without copying state.
+ */
+
+#ifndef BALIGN_LAYOUT_CHAIN_H
+#define BALIGN_LAYOUT_CHAIN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.h"
+
+namespace balign {
+
+class ChainSet
+{
+  public:
+    /**
+     * @param num_blocks number of blocks; each starts as its own chain
+     * @param entry the procedure entry block (may never acquire a
+     *        predecessor link)
+     */
+    explicit ChainSet(std::size_t num_blocks, BlockId entry = 0);
+
+    std::size_t numBlocks() const { return next_.size(); }
+    BlockId entry() const { return entry_; }
+
+    /// The linked layout successor of @p block, or kNoBlock.
+    BlockId next(BlockId block) const { return next_[block]; }
+
+    /// The linked layout predecessor of @p block, or kNoBlock.
+    BlockId prev(BlockId block) const { return prev_[block]; }
+
+    /// Whether link(src, dst) would succeed.
+    bool canLink(BlockId src, BlockId dst) const;
+
+    /**
+     * Links dst directly after src. Returns false (and changes nothing) if
+     * the link is not allowed.
+     */
+    bool link(BlockId src, BlockId dst);
+
+    /**
+     * Undoes a link previously created with link(). Undo must proceed in
+     * strict LIFO order with respect to intervening link() calls; the Try15
+     * backtracking search guarantees this.
+     */
+    void unlink(BlockId src, BlockId dst);
+
+    /// Head (first block) of the chain containing @p block. O(1) when
+    /// @p block is a chain endpoint, O(length) otherwise.
+    BlockId head(BlockId block) const;
+
+    /// Tail (last block) of the chain containing @p block.
+    BlockId tail(BlockId block) const;
+
+    /// True if @p a and @p b are in the same chain.
+    bool sameChain(BlockId a, BlockId b) const;
+
+    /// Number of links currently in effect.
+    std::size_t numLinks() const { return links_; }
+
+    /**
+     * Materializes all chains as block lists, each ordered head to tail,
+     * in order of their head block's id (callers reorder via chain_order.h).
+     */
+    std::vector<std::vector<BlockId>> chains() const;
+
+  private:
+    BlockId entry_;
+    std::vector<BlockId> next_;
+    std::vector<BlockId> prev_;
+    /// head_[b]: head of b's chain; authoritative only when b is a tail.
+    std::vector<BlockId> head_;
+    /// tail_[b]: tail of b's chain; authoritative only when b is a head.
+    std::vector<BlockId> tail_;
+    std::size_t links_ = 0;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_LAYOUT_CHAIN_H

@@ -1,0 +1,232 @@
+#include "layout/chain_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/log.h"
+
+namespace balign {
+
+const char *
+chainOrderPolicyName(ChainOrderPolicy policy)
+{
+    switch (policy) {
+      case ChainOrderPolicy::HotFirst: return "hot-first";
+      case ChainOrderPolicy::BtFntPrecedence: return "btfnt-precedence";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Heat of a chain: the maximum activation weight of any member block.
+Weight
+chainHeat(const Procedure &proc, const std::vector<BlockId> &chain)
+{
+    Weight heat = 0;
+    for (BlockId id : chain)
+        heat = std::max(heat, proc.blockWeight(id));
+    return heat;
+}
+
+/// True if adding edge from -> to creates a cycle in the precedence DAG.
+bool
+createsCycle(const std::vector<std::vector<std::size_t>> &succs,
+             std::size_t from, std::size_t to)
+{
+    if (from == to)
+        return true;
+    // DFS from `to` looking for `from`.
+    std::vector<std::size_t> stack{to};
+    std::vector<bool> seen(succs.size(), false);
+    seen[to] = true;
+    while (!stack.empty()) {
+        const std::size_t cur = stack.back();
+        stack.pop_back();
+        for (std::size_t next : succs[cur]) {
+            if (next == from)
+                return true;
+            if (!seen[next]) {
+                seen[next] = true;
+                stack.push_back(next);
+            }
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+std::vector<BlockId>
+orderChains(const Procedure &proc, const ChainSet &chains,
+            ChainOrderPolicy policy)
+{
+    const auto chain_lists = chains.chains();
+    const std::size_t num_chains = chain_lists.size();
+
+    // Identify each block's chain and the entry chain.
+    std::vector<std::size_t> chain_of(proc.numBlocks(), 0);
+    std::size_t entry_chain = 0;
+    for (std::size_t c = 0; c < num_chains; ++c) {
+        for (BlockId id : chain_lists[c]) {
+            chain_of[id] = c;
+            if (id == proc.entry())
+                entry_chain = c;
+        }
+    }
+
+    std::vector<Weight> heat(num_chains);
+    for (std::size_t c = 0; c < num_chains; ++c)
+        heat[c] = chainHeat(proc, chain_lists[c]);
+
+    // The order in which chains will be emitted.
+    std::vector<std::size_t> chain_order;
+    chain_order.reserve(num_chains);
+
+    if (policy == ChainOrderPolicy::HotFirst) {
+        chain_order.resize(num_chains);
+        std::iota(chain_order.begin(), chain_order.end(), 0);
+        std::stable_sort(chain_order.begin(), chain_order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             if (a == entry_chain)
+                                 return b != entry_chain;
+                             if (b == entry_chain)
+                                 return false;
+                             if (heat[a] != heat[b])
+                                 return heat[a] > heat[b];
+                             return chain_lists[a].front() <
+                                    chain_lists[b].front();
+                         });
+    } else {
+        // BT/FNT precedence: collect votes from conditional edges that
+        // cross chains.
+        struct Vote
+        {
+            std::size_t before;
+            std::size_t after;
+            Weight weight;
+        };
+        std::vector<Vote> votes;
+        for (const auto &block : proc.blocks()) {
+            if (block.term != Terminator::CondBranch)
+                continue;
+            const auto taken_idx =
+                static_cast<std::uint32_t>(proc.takenEdge(block.id));
+            const auto fall_idx =
+                static_cast<std::uint32_t>(proc.fallThroughEdge(block.id));
+            const Edge &taken = proc.edge(taken_idx);
+            const Edge &fall = proc.edge(fall_idx);
+            // Only votes about the realized-taken direction matter. If the
+            // taken successor is chained directly after the block, the
+            // sense will invert and the CFG fall edge becomes the realized
+            // branch; model both cases through whichever CFG successor is
+            // NOT the chain successor.
+            const BlockId chained = chains.next(block.id);
+            const Edge *branch_edge = &taken;
+            const Edge *through_edge = &fall;
+            if (chained == taken.dst && chained != kNoBlock) {
+                branch_edge = &fall;
+                through_edge = &taken;
+            }
+            const std::size_t src_chain = chain_of[block.id];
+            const std::size_t dst_chain = chain_of[branch_edge->dst];
+            if (src_chain == dst_chain)
+                continue;  // intra-chain; position already fixed
+            if (branch_edge->weight >= through_edge->weight) {
+                // Frequently taken: want the target earlier (backward
+                // branch, predicted taken). Never constrain the entry
+                // chain to be non-first.
+                if (src_chain != entry_chain) {
+                    votes.push_back(
+                        {dst_chain, src_chain, branch_edge->weight});
+                }
+            } else {
+                if (dst_chain != entry_chain) {
+                    votes.push_back(
+                        {src_chain, dst_chain, branch_edge->weight});
+                }
+            }
+        }
+        std::stable_sort(votes.begin(), votes.end(),
+                         [](const Vote &a, const Vote &b) {
+                             return a.weight > b.weight;
+                         });
+
+        std::vector<std::vector<std::size_t>> succs(num_chains);
+        std::vector<std::size_t> indegree(num_chains, 0);
+        for (const auto &vote : votes) {
+            if (createsCycle(succs, vote.before, vote.after))
+                continue;
+            succs[vote.before].push_back(vote.after);
+            ++indegree[vote.after];
+        }
+
+        // Kahn's algorithm; among available chains pick the entry chain
+        // first, then hottest-first.
+        std::vector<bool> emitted(num_chains, false);
+        std::vector<std::size_t> available;
+        for (std::size_t c = 0; c < num_chains; ++c) {
+            if (indegree[c] == 0)
+                available.push_back(c);
+        }
+        while (chain_order.size() < num_chains) {
+            if (available.empty()) {
+                // Constraint edges never form cycles, so this only happens
+                // if precedences into not-yet-available chains remain;
+                // cannot occur, but guard against it.
+                panic("orderChains: precedence graph stuck");
+            }
+            std::size_t best = available.front();
+            std::size_t best_pos = 0;
+            for (std::size_t i = 1; i < available.size(); ++i) {
+                const std::size_t cand = available[i];
+                if (chain_order.empty()) {
+                    // The first emitted chain must be the entry chain; it
+                    // always has in-degree zero by construction.
+                    if (cand == entry_chain) {
+                        best = cand;
+                        best_pos = i;
+                    }
+                    if (best == entry_chain)
+                        continue;
+                }
+                if (best != entry_chain &&
+                    (heat[cand] > heat[best] ||
+                     (heat[cand] == heat[best] &&
+                      chain_lists[cand].front() < chain_lists[best].front()))) {
+                    best = cand;
+                    best_pos = i;
+                }
+            }
+            if (chain_order.empty() && best != entry_chain) {
+                // entry chain must come first; find it if available.
+                for (std::size_t i = 0; i < available.size(); ++i) {
+                    if (available[i] == entry_chain) {
+                        best = entry_chain;
+                        best_pos = i;
+                        break;
+                    }
+                }
+            }
+            available.erase(available.begin() +
+                            static_cast<std::ptrdiff_t>(best_pos));
+            emitted[best] = true;
+            chain_order.push_back(best);
+            for (std::size_t next : succs[best]) {
+                if (--indegree[next] == 0)
+                    available.push_back(next);
+            }
+        }
+    }
+
+    // Concatenate chains into the final block order.
+    std::vector<BlockId> order;
+    order.reserve(proc.numBlocks());
+    for (std::size_t c : chain_order) {
+        for (BlockId id : chain_lists[c])
+            order.push_back(id);
+    }
+    return order;
+}
+
+}  // namespace balign

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Chain ordering policies (paper §6.1).
+ *
+ * After chains are formed, they must be concatenated into the final block
+ * order. The paper implemented two policies in OM:
+ *
+ *  - HotFirst: chains ordered from most to least frequently executed. The
+ *    paper found this slightly better overall (it satisfies many BT/FNT
+ *    precedences anyway and improves locality), and used it for all
+ *    simulations except the BT/FNT one.
+ *
+ *  - BtFntPrecedence: the Pettis–Hansen precedence ordering. Each
+ *    frequently-taken conditional edge between chains votes for its target
+ *    chain to be placed before its source chain (so the realized branch is
+ *    backward and BT/FNT predicts it taken); each rarely-taken edge votes
+ *    the other way. Votes are applied in decreasing weight order when they
+ *    do not create a cycle; the result is topologically sorted.
+ *
+ * The entry block's chain is always placed first.
+ */
+
+#ifndef BALIGN_LAYOUT_CHAIN_ORDER_H
+#define BALIGN_LAYOUT_CHAIN_ORDER_H
+
+#include <vector>
+
+#include "cfg/procedure.h"
+#include "layout/chain.h"
+
+namespace balign {
+
+enum class ChainOrderPolicy : std::uint8_t {
+    HotFirst,
+    BtFntPrecedence,
+};
+
+/// Printable policy name.
+const char *chainOrderPolicyName(ChainOrderPolicy policy);
+
+/**
+ * Produces the final block order for @p proc from the chains in @p chains,
+ * using the given policy. The chain containing the entry block comes first.
+ */
+std::vector<BlockId> orderChains(const Procedure &proc,
+                                 const ChainSet &chains,
+                                 ChainOrderPolicy policy);
+
+}  // namespace balign
+
+#endif  // BALIGN_LAYOUT_CHAIN_ORDER_H

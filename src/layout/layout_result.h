@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Concrete layout of a program: block order, final addresses, and the
+ * binary transformations applied (sense inversions, inserted and removed
+ * unconditional jumps) — the output the paper produced with OM.
+ */
+
+#ifndef BALIGN_LAYOUT_LAYOUT_RESULT_H
+#define BALIGN_LAYOUT_LAYOUT_RESULT_H
+
+#include <vector>
+
+#include "cfg/program.h"
+#include "layout/realization.h"
+#include "support/types.h"
+
+namespace balign {
+
+/**
+ * Per-block placement and transformation record.
+ *
+ * Address fields are program-global instruction-word addresses (procedure
+ * base already applied).
+ */
+struct BlockLayout
+{
+    /// Start address of the block.
+    Addr addr = kNoAddr;
+
+    /// Position of the block in its procedure's layout order.
+    std::uint32_t orderIndex = 0;
+
+    /// Static size in instruction words after transformation.
+    std::uint32_t finalInstrs = 0;
+
+    /// Instructions that execute on EVERY activation of the block
+    /// (excludes an inserted trailing jump, which only executes when its
+    /// path is taken).
+    std::uint32_t baseInstrs = 0;
+
+    /// For CondBranch blocks: how the two successors are realized.
+    CondRealization cond = CondRealization::FallAdjacent;
+
+    /// True when a trailing unconditional jump was inserted (fall-through
+    /// blocks with non-adjacent successors; both "Neither" realizations).
+    bool jumpInserted = false;
+
+    /// True when an UncondBranch block's jump was deleted because its
+    /// target became layout-adjacent.
+    bool jumpRemoved = false;
+
+    /// Address of the block's terminator branch instruction, if any.
+    Addr branchAddr = kNoAddr;
+
+    /// Address of the inserted trailing jump, if any.
+    Addr jumpAddr = kNoAddr;
+};
+
+/// Layout of one procedure.
+struct ProcLayout
+{
+    /// Blocks in final layout order.
+    std::vector<BlockId> order;
+
+    /// Per-block records, indexed by BlockId.
+    std::vector<BlockLayout> blocks;
+
+    /// Program-global base address of the procedure.
+    Addr base = 0;
+
+    /// Static size (instruction words) after transformation.
+    std::uint64_t totalInstrs = 0;
+
+    /// Counts of applied transformations.
+    std::uint32_t jumpsInserted = 0;
+    std::uint32_t jumpsRemoved = 0;
+    std::uint32_t sensesInverted = 0;
+};
+
+/// Layout of a whole program (procedures in id order, placed contiguously).
+struct ProgramLayout
+{
+    std::vector<ProcLayout> procs;
+    std::uint64_t totalInstrs = 0;
+
+    const ProcLayout &proc(ProcId id) const { return procs[id]; }
+
+    /// Entry address of a procedure (its entry block's address).
+    Addr
+    procEntryAddr(ProcId id) const
+    {
+        return procs[id].blocks[procs[id].order.front()].addr;
+    }
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_LAYOUT_LAYOUT_RESULT_H

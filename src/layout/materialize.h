@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Materializer: turns a block order into a concrete binary layout,
+ * performing the OM-style transformations the paper applies — inverting
+ * branch senses, inserting unconditional jumps where a needed fall-through
+ * path is not layout-adjacent, and deleting unconditional branches whose
+ * targets become adjacent.
+ *
+ * When given an architecture cost model, the materializer picks the
+ * cheapest legal realization per conditional block, which implements the
+ * paper's "align neither edge" loop transformation (a hot taken branch is
+ * replaced by a correctly predicted not-taken branch plus a jump). Without
+ * a cost model it behaves classically (keep sense, jump to the fall-through
+ * successor), matching the Pettis–Hansen Greedy baseline.
+ */
+
+#ifndef BALIGN_LAYOUT_MATERIALIZE_H
+#define BALIGN_LAYOUT_MATERIALIZE_H
+
+#include <vector>
+
+#include "bpred/cost_model.h"
+#include "layout/layout_result.h"
+
+namespace balign {
+
+struct MaterializeOptions
+{
+    /// Architecture cost model; null selects classic (cost-blind) behavior.
+    const CostModel *costModel = nullptr;
+};
+
+/**
+ * Materializes one procedure.
+ *
+ * @param proc the procedure
+ * @param order permutation of all block ids; order[0] must be the entry
+ * @param base program-global address of the procedure's first instruction
+ */
+ProcLayout materializeProc(const Procedure &proc,
+                           std::vector<BlockId> order, Addr base,
+                           const MaterializeOptions &options = {});
+
+/**
+ * Materializes a whole program; procedures are placed contiguously in id
+ * order (the paper does not reorder procedures).
+ *
+ * @param orders one block order per procedure
+ */
+ProgramLayout materializeProgram(const Program &program,
+                                 const std::vector<std::vector<BlockId>> &orders,
+                                 const MaterializeOptions &options = {});
+
+/**
+ * The identity layout: blocks in id order, exactly reproducing the original
+ * binary (requires the CFG invariant that fall-through edges target the
+ * next block id; see cfg/validate.h).
+ */
+ProgramLayout originalLayout(const Program &program);
+
+/// Outcome of traversing a given CFG edge kind out of a conditional block.
+struct CondOutcome
+{
+    bool branchTaken;   ///< the realized conditional branch was taken
+    bool jumpExecuted;  ///< the inserted trailing jump also executed
+};
+
+/// Maps a CFG edge kind through a realization.
+CondOutcome condOutcome(CondRealization realization, EdgeKind kind);
+
+/// Which CFG edge kind the realized conditional branch *targets* (the
+/// other kind is reached by falling through, possibly via the inserted
+/// jump).
+EdgeKind branchTargetKind(CondRealization realization);
+
+}  // namespace balign
+
+#endif  // BALIGN_LAYOUT_MATERIALIZE_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * How a conditional block's two CFG out-edges are realized in a concrete
+ * layout. Shared between the layout materializer and the branch cost model.
+ */
+
+#ifndef BALIGN_LAYOUT_REALIZATION_H
+#define BALIGN_LAYOUT_REALIZATION_H
+
+#include <cstdint>
+
+namespace balign {
+
+/**
+ * Realization of a conditional block in a layout. "Taken edge" / "fall
+ * edge" refer to the CFG's EdgeKind::Taken / EdgeKind::FallThrough edges
+ * (the branch's semantic outcomes), independent of layout.
+ */
+enum class CondRealization : std::uint8_t {
+    /// CFG fall edge is layout-adjacent; branch keeps its sense.
+    FallAdjacent,
+    /// CFG taken edge is layout-adjacent; branch sense inverted.
+    TakenAdjacent,
+    /// Neither edge adjacent: branch (original sense) to the taken target,
+    /// followed by an inserted unconditional jump to the fall target.
+    NeitherJumpToFall,
+    /// Neither edge adjacent: branch sense inverted (branch targets the CFG
+    /// fall successor), inserted jump to the CFG taken successor. This is
+    /// the paper's loop transformation (Fig. 2 discussion): the hot back
+    /// edge becomes a correctly predicted not-taken branch plus a jump.
+    NeitherJumpToTaken,
+};
+
+/// Printable name.
+const char *condRealizationName(CondRealization realization);
+
+/// Rough direction guess for a branch target during alignment, before final
+/// addresses exist (paper §6: the true direction is unknowable until chains
+/// are placed).
+enum class DirHint : std::uint8_t {
+    Forward,
+    Backward,
+    Unknown,  ///< treated conservatively as Forward by BT/FNT costing
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_LAYOUT_REALIZATION_H

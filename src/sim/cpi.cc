@@ -1,0 +1,153 @@
+#include "sim/cpi.h"
+
+#include <map>
+#include <memory>
+
+#include "layout/materialize.h"
+#include "support/log.h"
+#include "trace/profiler.h"
+#include "workload/generator.h"
+
+namespace balign {
+
+const ExperimentCell &
+ExperimentRun::cell(Arch arch, AlignerKind kind) const
+{
+    for (const auto &cell : cells) {
+        if (cell.config.arch == arch && cell.config.kind == kind)
+            return cell;
+    }
+    fatal("ExperimentRun(%s): no cell for %s/%s", name.c_str(),
+          archName(arch), alignerKindName(kind));
+}
+
+PreparedProgram
+prepareProgram(Program program, const WalkOptions &walk,
+               const std::string &name)
+{
+    PreparedProgram prepared;
+    prepared.program = std::move(program);
+    prepared.walk = walk;
+    if (!name.empty())
+        prepared.program.setName(name);
+
+    prepared.program.clearWeights();
+    Profiler profiler(prepared.program);
+    balign::walk(prepared.program, walk, profiler);
+    prepared.stats = profiler.stats();
+    return prepared;
+}
+
+PreparedProgram
+prepareProgram(const ProgramSpec &spec)
+{
+    WalkOptions walk;
+    walk.seed = traceSeed(spec);
+    walk.instrBudget = spec.traceInstrs;
+    return prepareProgram(generateProgram(spec), walk, spec.name);
+}
+
+ExperimentRun
+runConfigs(const PreparedProgram &prepared,
+           const std::vector<ExperimentConfig> &configs,
+           const AlignOptions &options)
+{
+    const Program &program = prepared.program;
+
+    ExperimentRun run;
+    run.name = program.name();
+    run.stats = prepared.stats;
+
+    // Build the layouts. Original and Greedy are architecture-independent;
+    // Cost and TryN depend on the architecture's cost model.
+    struct LayoutKey
+    {
+        AlignerKind kind;
+        Arch arch;  ///< only meaningful for cost-aware aligners
+
+        bool
+        operator<(const LayoutKey &other) const
+        {
+            if (kind != other.kind)
+                return kind < other.kind;
+            return arch < other.arch;
+        }
+    };
+    auto layout_key = [](const ExperimentConfig &config) {
+        // Cost-aware aligners depend on the architecture's cost model; in
+        // addition, the BT/FNT architecture uses the Pettis-Hansen BT/FNT
+        // precedence chain ordering (paper SS6.1), making every BT/FNT
+        // layout architecture-specific.
+        const bool arch_dependent = config.kind == AlignerKind::Cost ||
+                                    config.kind == AlignerKind::Try15 ||
+                                    config.arch == Arch::BtFnt;
+        return LayoutKey{config.kind,
+                         arch_dependent ? config.arch : Arch::Fallthrough};
+    };
+
+    std::map<LayoutKey, std::unique_ptr<ProgramLayout>> layouts;
+    std::map<LayoutKey, std::unique_ptr<CostModel>> models;
+    for (const auto &config : configs) {
+        const LayoutKey key = layout_key(config);
+        if (layouts.count(key))
+            continue;
+        auto model = std::make_unique<CostModel>(config.arch);
+        AlignOptions arch_options = options;
+        if (config.arch == Arch::BtFnt)
+            arch_options.chainOrder = ChainOrderPolicy::BtFntPrecedence;
+        layouts[key] = std::make_unique<ProgramLayout>(alignProgram(
+            program, config.kind, model.get(), arch_options));
+        models[key] = std::move(model);
+    }
+
+    // One evaluator per configuration, all fed by a single replay walk.
+    std::vector<std::unique_ptr<ArchEvaluator>> evaluators;
+    MultiSink fanout;
+    for (const auto &config : configs) {
+        const ProgramLayout &layout = *layouts.at(layout_key(config));
+        evaluators.push_back(std::make_unique<ArchEvaluator>(
+            program, layout, EvalParams::forArch(config.arch)));
+        fanout.add(&evaluators.back()->sink());
+    }
+    walk(program, prepared.walk, fanout);
+
+    // The original-layout instruction count anchors every relative CPI.
+    std::uint64_t orig_instrs = 0;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (configs[i].kind == AlignerKind::Original) {
+            orig_instrs = evaluators[i]->result().instrs;
+            break;
+        }
+    }
+    if (orig_instrs == 0) {
+        // No Original configuration requested: evaluate one on the fly.
+        const ProgramLayout orig = originalLayout(program);
+        ArchEvaluator eval(program, orig,
+                           EvalParams::forArch(Arch::BtFnt));
+        walk(program, prepared.walk, eval.sink());
+        orig_instrs = eval.result().instrs;
+    }
+    run.origInstrs = orig_instrs;
+
+    run.cells.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        ExperimentCell cell;
+        cell.config = configs[i];
+        cell.eval = evaluators[i]->result();
+        cell.relCpi = cell.eval.relativeCpi(orig_instrs);
+        run.cells.push_back(cell);
+    }
+    return run;
+}
+
+ExperimentRun
+runExperiment(const ProgramSpec &spec,
+              const std::vector<ExperimentConfig> &configs,
+              const AlignOptions &options)
+{
+    ExperimentRun run = runConfigs(prepareProgram(spec), configs, options);
+    run.group = spec.group;
+    return run;
+}
+
+}  // namespace balign

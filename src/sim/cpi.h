@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Experiment driver: generate (or accept) a program, profile it with one
+ * seeded walk, align it for a set of (architecture, algorithm) pairs, and
+ * evaluate every configuration against a second, identical walk — the
+ * paper's methodology ("for each architecture, we use the same input to
+ * align the program and to measure the improvement").
+ *
+ * Layouts are shared where the paper shares them: Original and Greedy are
+ * architecture-independent; Cost and TryN are re-run per architecture with
+ * that architecture's cost model.
+ */
+
+#ifndef BALIGN_SIM_CPI_H
+#define BALIGN_SIM_CPI_H
+
+#include <vector>
+
+#include "bpred/evaluator.h"
+#include "cfg/cfg_stats.h"
+#include "cfg/program.h"
+#include "core/align_program.h"
+#include "trace/walker.h"
+#include "workload/spec.h"
+
+namespace balign {
+
+/// A (prediction architecture, alignment algorithm) pair to evaluate.
+struct ExperimentConfig
+{
+    Arch arch;
+    AlignerKind kind;
+};
+
+/// One evaluated configuration.
+struct ExperimentCell
+{
+    ExperimentConfig config;
+    EvalResult eval;
+    double relCpi = 0.0;  ///< relative CPI vs the original layout
+};
+
+/// All results for one program.
+struct ExperimentRun
+{
+    std::string name;
+    std::string group;
+    ProgramStats stats;             ///< Table-2 attributes from the profile
+    std::uint64_t origInstrs = 0;   ///< instructions under the original layout
+    std::vector<ExperimentCell> cells;
+
+    /// Finds a cell; fatal() when the configuration was not evaluated.
+    const ExperimentCell &cell(Arch arch, AlignerKind kind) const;
+};
+
+/**
+ * A profiled program ready for evaluation: the CFG with measured edge
+ * weights plus the walk configuration that produced (and will reproduce)
+ * the trace.
+ */
+struct PreparedProgram
+{
+    Program program;
+    WalkOptions walk;
+    ProgramStats stats;
+};
+
+/// Generates and profiles the program described by @p spec.
+PreparedProgram prepareProgram(const ProgramSpec &spec);
+
+/// Profiles an existing program (weights are cleared first).
+PreparedProgram prepareProgram(Program program, const WalkOptions &walk,
+                               const std::string &name = "");
+
+/**
+ * Evaluates all configurations with ONE replay walk (fanning the event
+ * stream out to every evaluator).
+ */
+ExperimentRun runConfigs(const PreparedProgram &prepared,
+                         const std::vector<ExperimentConfig> &configs,
+                         const AlignOptions &options = {});
+
+/// Convenience: prepare + run.
+ExperimentRun runExperiment(const ProgramSpec &spec,
+                            const std::vector<ExperimentConfig> &configs,
+                            const AlignOptions &options = {});
+
+}  // namespace balign
+
+#endif  // BALIGN_SIM_CPI_H

@@ -1,0 +1,54 @@
+#include "sim/exec_time.h"
+
+#include "core/align_program.h"
+#include "layout/materialize.h"
+#include "sim/cpi.h"
+#include "trace/event.h"
+#include "trace/walker.h"
+
+namespace balign {
+
+ExecTimeResult
+runExecTime(const ProgramSpec &spec, const PipelineParams &params)
+{
+    const PreparedProgram prepared = prepareProgram(spec);
+    const Program &program = prepared.program;
+
+    // Layouts: the greedy alignment used everywhere, and the Try15/BTB
+    // alignment (paper §6.1).
+    const ProgramLayout orig = originalLayout(program);
+    const CostModel btb_model(Arch::PhtDirect);
+    AlignOptions options;
+    const ProgramLayout greedy =
+        alignProgram(program, AlignerKind::Greedy, nullptr, options);
+    const ProgramLayout try15 =
+        alignProgram(program, AlignerKind::Try15, &btb_model, options);
+
+    Alpha21064Model orig_model(program, orig, params);
+    Alpha21064Model greedy_model(program, greedy, params);
+    Alpha21064Model try15_model(program, try15, params);
+
+    MultiSink fanout;
+    fanout.add(&orig_model.sink());
+    fanout.add(&greedy_model.sink());
+    fanout.add(&try15_model.sink());
+    walk(program, prepared.walk, fanout);
+
+    ExecTimeResult result;
+    result.name = spec.name;
+    result.originalCycles = orig_model.cycles();
+    result.greedyRelative = greedy_model.cycles() / orig_model.cycles();
+    result.try15Relative = try15_model.cycles() / orig_model.cycles();
+    result.origMispredicts = orig_model.mispredicts();
+    result.greedyMispredicts = greedy_model.mispredicts();
+    result.try15Mispredicts = try15_model.mispredicts();
+    result.origICacheMisses = orig_model.icacheMisses();
+    result.try15ICacheMisses = try15_model.icacheMisses();
+    result.origMisfetches = orig_model.misfetches();
+    result.try15Misfetches = try15_model.misfetches();
+    result.origCyclesTotal = orig_model.cycles();
+    result.origInstrs = orig_model.instrs();
+    return result;
+}
+
+}  // namespace balign

@@ -1,0 +1,70 @@
+#include "sim/icache.h"
+
+#include "support/log.h"
+
+namespace balign {
+
+namespace {
+
+std::size_t
+log2Exact(std::size_t value, const char *what)
+{
+    if (value == 0 || (value & (value - 1)) != 0)
+        panic("ICache: %s must be a power of two (got %zu)", what, value);
+    std::size_t result = 0;
+    while ((value >>= 1) != 0)
+        ++result;
+    return result;
+}
+
+}  // namespace
+
+ICache::ICache(std::size_t size_bytes, std::size_t line_bytes)
+{
+    log2Exact(size_bytes, "size");
+    log2Exact(line_bytes, "line size");
+    if (line_bytes < kInstrBytes || size_bytes < line_bytes)
+        panic("ICache: bad geometry %zu/%zu", size_bytes, line_bytes);
+    instrsPerLine_ = line_bytes / kInstrBytes;
+    lineShift_ = log2Exact(instrsPerLine_, "instrs per line");
+    const std::size_t lines = size_bytes / line_bytes;
+    indexMask_ = lines - 1;
+    tags_.assign(lines, kNoAddr);
+}
+
+std::size_t
+ICache::lineIndex(Addr addr) const
+{
+    return (addr >> lineShift_) & indexMask_;
+}
+
+bool
+ICache::access(Addr addr)
+{
+    const Addr line_addr = addr >> lineShift_;
+    Addr &tag = tags_[line_addr & indexMask_];
+    if (tag == line_addr) {
+        ++hits_;
+        return true;
+    }
+    tag = line_addr;
+    ++misses_;
+    return false;
+}
+
+unsigned
+ICache::accessRange(Addr addr, std::uint32_t count)
+{
+    if (count == 0)
+        return 0;
+    unsigned misses = 0;
+    const Addr first = addr >> lineShift_;
+    const Addr last = (addr + count - 1) >> lineShift_;
+    for (Addr line = first; line <= last; ++line) {
+        if (!access(line << lineShift_))
+            ++misses;
+    }
+    return misses;
+}
+
+}  // namespace balign

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Direct-mapped instruction cache model for the Alpha 21064 pipeline
+ * simulation (paper §6.1). Alignment affects instruction-cache locality as
+ * well as prediction, and the 21064's per-line branch history bits are
+ * reinitialized when a line is (re)filled, so the cache model also drives
+ * the line predictor's cold-start behaviour.
+ */
+
+#ifndef BALIGN_SIM_ICACHE_H
+#define BALIGN_SIM_ICACHE_H
+
+#include <vector>
+
+#include "support/types.h"
+
+namespace balign {
+
+class ICache
+{
+  public:
+    /**
+     * @param size_bytes total capacity (power of two; 21064: 8 KB)
+     * @param line_bytes line size (power of two; 21064: 32 B)
+     */
+    ICache(std::size_t size_bytes, std::size_t line_bytes);
+
+    /**
+     * Accesses the line containing instruction-word address @p addr.
+     * @return true on hit; on a miss the line is filled.
+     */
+    bool access(Addr addr);
+
+    /// Accesses every line overlapping [addr, addr+count) instructions;
+    /// returns the number of misses.
+    unsigned accessRange(Addr addr, std::uint32_t count);
+
+    /// Line index (within the cache) holding instruction address @p addr.
+    std::size_t lineIndex(Addr addr) const;
+
+    /// Instruction words per line.
+    std::size_t instrsPerLine() const { return instrsPerLine_; }
+
+    std::size_t numLines() const { return tags_.size(); }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    std::size_t instrsPerLine_;
+    std::size_t lineShift_;  ///< log2(instrsPerLine_)
+    std::size_t indexMask_;
+    std::vector<Addr> tags_;  ///< kNoAddr == invalid
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_SIM_ICACHE_H

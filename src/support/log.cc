@@ -1,0 +1,74 @@
+#include "support/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace balign {
+
+namespace {
+
+bool verbose_flag = true;
+
+void
+vreport(const char *tag, const char *fmt, std::va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verbose_flag = verbose;
+}
+
+bool
+verbose()
+{
+    return verbose_flag;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!verbose_flag)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+}  // namespace balign

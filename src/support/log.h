@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 convention:
+ *
+ *  - inform(): status the user should see, no error connotation.
+ *  - warn():   something questionable but survivable.
+ *  - fatal():  user error (bad configuration/arguments); exits cleanly.
+ *  - panic():  internal invariant violation (a balign bug); aborts.
+ */
+
+#ifndef BALIGN_SUPPORT_LOG_H
+#define BALIGN_SUPPORT_LOG_H
+
+#include <cstdarg>
+#include <string>
+
+namespace balign {
+
+/// Verbosity control: when false, inform() is suppressed (warn and errors
+/// always print).
+void setVerbose(bool verbose);
+bool verbose();
+
+/// Informational message (printf-style).
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Warning message (printf-style).
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// User-level error: prints the message and exits with status 1.
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Internal error: prints the message and aborts.
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace balign
+
+#endif  // BALIGN_SUPPORT_LOG_H

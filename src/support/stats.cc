@@ -1,0 +1,82 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace balign {
+
+void
+Accumulator::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    if (n_ == 1) {
+        min_ = max_ = x;
+        mean_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+Accumulator::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+std::size_t
+coverageCount(const std::vector<std::uint64_t> &weights, double fraction)
+{
+    std::vector<std::uint64_t> sorted;
+    sorted.reserve(weights.size());
+    for (auto w : weights) {
+        if (w > 0)
+            sorted.push_back(w);
+    }
+    if (sorted.empty())
+        return 0;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    __uint128_t total = 0;
+    for (auto w : sorted)
+        total += w;
+    if (fraction >= 1.0)
+        return sorted.size();
+    const auto target = static_cast<__uint128_t>(
+        std::ceil(static_cast<double>(total) * fraction));
+    __uint128_t acc = 0;
+    std::size_t count = 0;
+    for (auto w : sorted) {
+        acc += w;
+        ++count;
+        if (acc >= target)
+            break;
+    }
+    return count;
+}
+
+double
+safeRatio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+double
+pct(double num, double den)
+{
+    return 100.0 * safeRatio(num, den);
+}
+
+}  // namespace balign

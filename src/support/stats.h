@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluators and bench harnesses.
+ */
+
+#ifndef BALIGN_SUPPORT_STATS_H
+#define BALIGN_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace balign {
+
+/**
+ * Streaming accumulator for mean / min / max / variance (Welford).
+ */
+class Accumulator
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+    double variance() const;
+
+    /// Sample standard deviation.
+    double stddev() const;
+
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Counts how many of the heaviest items are needed to cover a fraction of
+ * the total weight — the paper's Q-50/Q-90/Q-99/Q-100 branch-site metric
+ * (Table 2).
+ *
+ * @param weights per-item weights (will be copied and sorted descending)
+ * @param fraction coverage target in (0, 1]
+ * @return the minimal number of heaviest items whose weights sum to at
+ *         least fraction * total; items with zero weight never count except
+ *         that Q-100 counts only items with non-zero weight.
+ */
+std::size_t coverageCount(const std::vector<std::uint64_t> &weights,
+                          double fraction);
+
+/// Ratio helper returning 0 when the denominator is 0.
+double safeRatio(double num, double den);
+
+/// Percentage helper returning 0 when the denominator is 0.
+double pct(double num, double den);
+
+}  // namespace balign
+
+#endif  // BALIGN_SUPPORT_STATS_H

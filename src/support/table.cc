@@ -1,0 +1,128 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/log.h"
+
+namespace balign {
+
+std::string
+withCommas(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    std::size_t lead = digits.size() % 3;
+    if (lead == 0)
+        lead = 3;
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (i - lead) % 3 == 0 && i >= lead)
+            out.push_back(',');
+        out.push_back(digits[i]);
+    }
+    return out;
+}
+
+std::string
+fixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    rows_.back().reserve(headers_.size());
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    if (rows_.empty())
+        panic("Table::cell called before Table::row");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int decimals)
+{
+    return cell(fixed(value, decimals));
+}
+
+Table &
+Table::cell(std::uint64_t value, bool separators)
+{
+    return cell(separators ? withCommas(value) : std::to_string(value));
+}
+
+Table &
+Table::separator()
+{
+    rows_.emplace_back();  // empty row marks a separator
+    return *this;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &text =
+                c < cells.size() ? cells[c] : std::string();
+            if (c == 0) {
+                os << text;
+                os << std::string(widths[c] - text.size(), ' ');
+            } else {
+                os << "  ";
+                os << std::string(widths[c] - text.size(), ' ');
+                os << text;
+            }
+        }
+        os << '\n';
+    };
+
+    auto print_rule = [&] {
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            total += widths[c] + (c == 0 ? 0 : 2);
+        os << std::string(total, '-') << '\n';
+    };
+
+    print_line(headers_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_rule();
+        else
+            print_line(row);
+    }
+}
+
+std::string
+Table::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+}  // namespace balign

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ASCII table writer used by the bench harnesses to print paper-style
+ * tables (Tables 2, 3, 4 and the Figure 4 series).
+ */
+
+#ifndef BALIGN_SUPPORT_TABLE_H
+#define BALIGN_SUPPORT_TABLE_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace balign {
+
+/**
+ * Column-aligned text table. Columns are right-aligned except the first,
+ * which is left-aligned (program names). Cells are strings; numeric
+ * formatting helpers are provided.
+ */
+class Table
+{
+  public:
+    /// Creates a table with the given column headers.
+    explicit Table(std::vector<std::string> headers);
+
+    // Row-building chains return *this; accidental copies would silently
+    // drop rows, so forbid them.
+    Table(const Table &) = delete;
+    Table &operator=(const Table &) = delete;
+    Table(Table &&) = default;
+    Table &operator=(Table &&) = default;
+
+    /// Starts a new row; subsequent cell() calls fill it left to right.
+    Table &row();
+
+    /// Appends a string cell to the current row.
+    Table &cell(const std::string &text);
+
+    /// Appends a fixed-point numeric cell with @p decimals decimals.
+    Table &cell(double value, int decimals = 3);
+
+    /// Appends an integer cell, optionally with thousands separators.
+    Table &cell(std::uint64_t value, bool separators = false);
+
+    /// Appends a horizontal separator row.
+    Table &separator();
+
+    /// Renders the table.
+    void print(std::ostream &os) const;
+
+    /// Renders the table to a string.
+    std::string str() const;
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Formats an integer with comma thousands separators ("5,240,969").
+std::string withCommas(std::uint64_t value);
+
+/// Formats a double with fixed decimals.
+std::string fixed(double value, int decimals);
+
+}  // namespace balign
+
+#endif  // BALIGN_SUPPORT_TABLE_H

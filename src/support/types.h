@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the balign library.
+ *
+ * All instruction addressing is in units of 4-byte instruction words,
+ * matching the Alpha AXP's fixed-width encoding that the paper's OM-based
+ * implementation targeted. Byte addresses, where a hardware structure needs
+ * them (e.g. PHT indexing), are derived by shifting.
+ */
+
+#ifndef BALIGN_SUPPORT_TYPES_H
+#define BALIGN_SUPPORT_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace balign {
+
+/// Instruction-word address within the laid-out program text.
+using Addr = std::uint64_t;
+
+/// Identifier of a basic block within its procedure (dense, 0-based).
+using BlockId = std::uint32_t;
+
+/// Identifier of a procedure within its program (dense, 0-based).
+using ProcId = std::uint32_t;
+
+/// Execution count of an edge or block (profile weight).
+using Weight = std::uint64_t;
+
+/// Sentinel for "no block".
+inline constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+
+/// Sentinel for "no procedure".
+inline constexpr ProcId kNoProc = std::numeric_limits<ProcId>::max();
+
+/// Sentinel for "no address".
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/// Bytes per instruction word (Alpha AXP fixed encoding).
+inline constexpr unsigned kInstrBytes = 4;
+
+}  // namespace balign
+
+#endif  // BALIGN_SUPPORT_TYPES_H

@@ -1,0 +1,124 @@
+#include "trace/branch_events.h"
+
+#include "layout/materialize.h"
+#include "support/log.h"
+
+namespace balign {
+
+void
+BranchEventHandler::onFetchRange(Addr, std::uint32_t)
+{
+}
+
+void
+BranchEventAdapter::onBlock(ProcId proc, BlockId block)
+{
+    const BlockLayout &bl = layout_.procs[proc].blocks[block];
+    handler_.onInstrs(bl.baseInstrs);
+    handler_.onFetchRange(bl.addr, bl.baseInstrs);
+    curProc_ = proc;
+    curBlock_ = block;
+}
+
+void
+BranchEventAdapter::onCall(ProcId proc, BlockId block, const CallSite &site)
+{
+    const BlockLayout &bl = layout_.procs[proc].blocks[block];
+    const Addr call_addr = bl.addr + site.offset;
+    handler_.onBranch(BranchEvent{BranchEvent::Type::Call, call_addr,
+                                  layout_.procEntryAddr(site.callee), true,
+                                  proc, block});
+}
+
+void
+BranchEventAdapter::resolvePendingReturn(Addr actual_target)
+{
+    if (curProc_ == kNoProc)
+        return;
+    const BasicBlock &block = program_.proc(curProc_).block(curBlock_);
+    if (block.term != Terminator::Return)
+        return;  // dead-end unwind: no return instruction executed
+    const BlockLayout &bl = layout_.procs[curProc_].blocks[curBlock_];
+    handler_.onBranch(BranchEvent{BranchEvent::Type::Return, bl.branchAddr,
+                                  actual_target, true, curProc_, curBlock_});
+}
+
+void
+BranchEventAdapter::onReturn(ProcId proc, BlockId block, const CallSite &site)
+{
+    const BlockLayout &bl = layout_.procs[proc].blocks[block];
+    resolvePendingReturn(bl.addr + site.offset + 1);
+    curProc_ = proc;
+    curBlock_ = block;
+}
+
+void
+BranchEventAdapter::onExit()
+{
+    resolvePendingReturn(kNoAddr);
+    curProc_ = kNoProc;
+    curBlock_ = kNoBlock;
+}
+
+void
+BranchEventAdapter::onEdge(ProcId proc, std::uint32_t edge_index)
+{
+    const Procedure &procedure = program_.proc(proc);
+    const Edge &edge = procedure.edge(edge_index);
+    const BasicBlock &block = procedure.block(edge.src);
+    const ProcLayout &proc_layout = layout_.procs[proc];
+    const BlockLayout &bl = proc_layout.blocks[edge.src];
+
+    switch (block.term) {
+      case Terminator::CondBranch: {
+        const CondOutcome outcome = condOutcome(bl.cond, edge.kind);
+        const EdgeKind target_kind = branchTargetKind(bl.cond);
+        const auto target_index = static_cast<std::uint32_t>(
+            target_kind == EdgeKind::Taken
+                ? procedure.takenEdge(edge.src)
+                : procedure.fallThroughEdge(edge.src));
+        const Addr target =
+            proc_layout.blocks[procedure.edge(target_index).dst].addr;
+        handler_.onBranch(BranchEvent{BranchEvent::Type::Cond,
+                                      bl.branchAddr, target,
+                                      outcome.branchTaken, proc, edge.src});
+        if (outcome.jumpExecuted) {
+            handler_.onInstrs(1);
+            handler_.onFetchRange(bl.jumpAddr, 1);
+            handler_.onBranch(BranchEvent{BranchEvent::Type::Uncond,
+                                          bl.jumpAddr,
+                                          proc_layout.blocks[edge.dst].addr,
+                                          true, proc, edge.src});
+        }
+        break;
+      }
+      case Terminator::UncondBranch:
+        if (!bl.jumpRemoved) {
+            handler_.onBranch(
+                BranchEvent{BranchEvent::Type::Uncond, bl.branchAddr,
+                            proc_layout.blocks[edge.dst].addr, true, proc,
+                            edge.src});
+        }
+        break;
+      case Terminator::FallThrough:
+        if (bl.jumpInserted) {
+            handler_.onInstrs(1);
+            handler_.onFetchRange(bl.jumpAddr, 1);
+            handler_.onBranch(
+                BranchEvent{BranchEvent::Type::Uncond, bl.jumpAddr,
+                            proc_layout.blocks[edge.dst].addr, true, proc,
+                            edge.src});
+        }
+        break;
+      case Terminator::IndirectJump:
+        handler_.onBranch(BranchEvent{BranchEvent::Type::Indirect,
+                                      bl.branchAddr,
+                                      proc_layout.blocks[edge.dst].addr,
+                                      true, proc, edge.src});
+        break;
+      case Terminator::Return:
+        panic("BranchEventAdapter: edge out of a return block");
+    }
+}
+
+}  // namespace balign

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Adapter from the walker's CFG-level event stream to concrete branch
+ * events under a specific layout.
+ *
+ * The walk is layout-independent (it speaks in blocks and CFG edges); what
+ * the hardware sees depends on the layout: branch senses may be inverted,
+ * unconditional jumps inserted or deleted, and all addresses shift. This
+ * adapter performs that mapping once so every consumer (the architecture
+ * evaluators, the pipeline timing model) shares identical semantics:
+ *
+ *  - a conditional edge traversal becomes a Cond event (realized direction
+ *    per the block's CondRealization) optionally followed by an Uncond
+ *    event for the inserted jump;
+ *  - unconditional blocks emit Uncond unless their jump was deleted;
+ *  - fall-through blocks emit Uncond when a jump was inserted;
+ *  - calls emit Call; returns emit Return with the actual resume address;
+ *  - instruction counts reflect the layout (inserted jumps count only when
+ *    executed).
+ */
+
+#ifndef BALIGN_TRACE_BRANCH_EVENTS_H
+#define BALIGN_TRACE_BRANCH_EVENTS_H
+
+#include "cfg/program.h"
+#include "layout/layout_result.h"
+#include "trace/event.h"
+
+namespace balign {
+
+/// A resolved branch execution under a concrete layout.
+struct BranchEvent
+{
+    enum class Type : std::uint8_t {
+        Cond,      ///< conditional branch (taken field meaningful)
+        Uncond,    ///< unconditional direct branch (original or inserted)
+        Indirect,  ///< indirect jump
+        Call,      ///< direct procedure call
+        Return,    ///< procedure return (target = actual resume address;
+                   ///< kNoAddr when the program exits)
+    };
+
+    Type type;
+    Addr site;    ///< address of the branch instruction
+    Addr target;  ///< destination address
+    bool taken;   ///< realized direction (Cond only; others always taken)
+    ProcId proc;  ///< procedure of the branch site
+    BlockId block;  ///< block of the branch site
+};
+
+/// Consumer interface for resolved events.
+class BranchEventHandler
+{
+  public:
+    virtual ~BranchEventHandler() = default;
+
+    /// @p count instructions executed (non-branch work and branch
+    /// instructions alike; called per block activation and per inserted
+    /// jump).
+    virtual void onInstrs(std::uint64_t count) = 0;
+
+    /// A branch executed.
+    virtual void onBranch(const BranchEvent &event) = 0;
+
+    /**
+     * A contiguous instruction range [addr, addr+count) was fetched
+     * (block activation under the layout). Used by cache models; default
+     * no-op.
+     */
+    virtual void onFetchRange(Addr addr, std::uint32_t count);
+};
+
+/**
+ * The adapter. Register it as the walk's sink (directly or via MultiSink).
+ */
+class BranchEventAdapter : public EventSink
+{
+  public:
+    BranchEventAdapter(const Program &program, const ProgramLayout &layout,
+                       BranchEventHandler &handler)
+        : program_(program), layout_(layout), handler_(handler)
+    {
+    }
+
+    void onBlock(ProcId proc, BlockId block) override;
+    void onCall(ProcId proc, BlockId block, const CallSite &site) override;
+    void onReturn(ProcId proc, BlockId block, const CallSite &site) override;
+    void onEdge(ProcId proc, std::uint32_t edge_index) override;
+    void onExit() override;
+
+  private:
+    /// Emits the Return event for the block being left, if it ends in one.
+    void resolvePendingReturn(Addr actual_target);
+
+    const Program &program_;
+    const ProgramLayout &layout_;
+    BranchEventHandler &handler_;
+
+    ProcId curProc_ = kNoProc;
+    BlockId curBlock_ = kNoBlock;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_TRACE_BRANCH_EVENTS_H

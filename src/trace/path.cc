@@ -1,0 +1,73 @@
+#include "trace/path.h"
+
+#include "support/log.h"
+
+namespace balign {
+
+void
+PathRecorder::onBlock(ProcId proc, BlockId block)
+{
+    events_.push_back({PathEvent::Kind::Block, proc, block, 0});
+}
+
+void
+PathRecorder::onCall(ProcId proc, BlockId block, const CallSite &site)
+{
+    events_.push_back({PathEvent::Kind::Call, proc, block, site.offset});
+}
+
+void
+PathRecorder::onReturn(ProcId proc, BlockId block, const CallSite &site)
+{
+    events_.push_back({PathEvent::Kind::Return, proc, block, site.offset});
+}
+
+void
+PathRecorder::onEdge(ProcId proc, std::uint32_t edge_index)
+{
+    events_.push_back({PathEvent::Kind::Edge, proc, edge_index, 0});
+}
+
+void
+PathRecorder::onExit()
+{
+    events_.push_back({PathEvent::Kind::Exit, kNoProc, 0, 0});
+}
+
+void
+PathRecorder::replay(const Program &program, EventSink &sink) const
+{
+    auto find_site = [&](ProcId proc, BlockId block,
+                         std::uint32_t offset) -> const CallSite & {
+        for (const auto &site : program.proc(proc).block(block).calls) {
+            if (site.offset == offset)
+                return site;
+        }
+        panic("replay: no call site at offset %u in proc %u block %u",
+              offset, proc, block);
+    };
+
+    for (const auto &event : events_) {
+        switch (event.kind) {
+          case PathEvent::Kind::Block:
+            sink.onBlock(event.proc, event.value);
+            break;
+          case PathEvent::Kind::Call:
+            sink.onCall(event.proc, event.value,
+                        find_site(event.proc, event.value, event.site));
+            break;
+          case PathEvent::Kind::Return:
+            sink.onReturn(event.proc, event.value,
+                          find_site(event.proc, event.value, event.site));
+            break;
+          case PathEvent::Kind::Edge:
+            sink.onEdge(event.proc, event.value);
+            break;
+          case PathEvent::Kind::Exit:
+            sink.onExit();
+            break;
+        }
+    }
+}
+
+}  // namespace balign

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Recording and replaying event streams.
+ *
+ * Most experiments regenerate walks from the seed (cheaper in memory), but a
+ * recorded path is useful for tests (determinism checks, golden traces) and
+ * for consumers that need multiple passes over a short trace.
+ */
+
+#ifndef BALIGN_TRACE_PATH_H
+#define BALIGN_TRACE_PATH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cfg/program.h"
+#include "trace/event.h"
+
+namespace balign {
+
+/// One recorded trace event.
+struct PathEvent
+{
+    enum class Kind : std::uint8_t { Block, Call, Return, Edge, Exit };
+
+    Kind kind;
+    ProcId proc = kNoProc;
+    /// Block id (Block/Call/Return) or edge index (Edge).
+    std::uint32_t value = 0;
+    /// Call-site index within the block (Call/Return only).
+    std::uint32_t site = 0;
+
+    bool
+    operator==(const PathEvent &other) const = default;
+};
+
+/**
+ * Records every event into a vector. The owning program is needed at replay
+ * time to resolve call sites.
+ */
+class PathRecorder : public EventSink
+{
+  public:
+    void onBlock(ProcId proc, BlockId block) override;
+    void onCall(ProcId proc, BlockId block, const CallSite &site) override;
+    void onReturn(ProcId proc, BlockId block, const CallSite &site) override;
+    void onEdge(ProcId proc, std::uint32_t edge_index) override;
+    void onExit() override;
+
+    const std::vector<PathEvent> &events() const { return events_; }
+    std::size_t size() const { return events_.size(); }
+    void clear() { events_.clear(); }
+
+    /// Re-emits the recorded events to @p sink.
+    void replay(const Program &program, EventSink &sink) const;
+
+  private:
+    std::vector<PathEvent> events_;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_TRACE_PATH_H

@@ -1,0 +1,474 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "cfg/validate.h"
+#include "support/log.h"
+#include "support/rng.h"
+
+namespace balign {
+
+namespace {
+
+/**
+ * Emits one procedure from the region grammar. Labels implement forward
+ * references: an edge may target a label, and a label resolves to the next
+ * block created after it is bound.
+ */
+class ProcEmitter
+{
+  public:
+    ProcEmitter(Procedure &proc, Rng &rng, const ProgramSpec &spec,
+                ProcId self, unsigned num_procs)
+        : proc_(proc),
+          rng_(rng),
+          spec_(spec),
+          self_(self),
+          numProcs_(num_procs)
+    {
+    }
+
+    void
+    emit(unsigned block_budget)
+    {
+        budget_ = block_budget;
+        const Label body_end = makeLabel();
+        emitRegion(0, Exit{Exit::FallOff, 0, body_end});
+        bind(body_end);
+        // Final return block resolves all outstanding fall-off paths.
+        newBlock(blockInstrs(), Terminator::Return);
+        if (earlyReturnUsed_) {
+            bind(earlyReturnLabel_);
+            newBlock(1 + rng_.nextBounded(3), Terminator::Return);
+        }
+    }
+
+  private:
+    using Label = std::size_t;
+
+    struct Pending
+    {
+        BlockId src;
+        EdgeKind kind;
+        double bias;
+    };
+
+    /// How a region's tail block leaves the region.
+    struct Exit
+    {
+        enum Kind { FallOff, JumpToLabel, JumpToBlock } kind;
+        BlockId block;  ///< for JumpToBlock
+        Label label;    ///< for FallOff (the continuation) / JumpToLabel
+    };
+
+    Label
+    makeLabel()
+    {
+        labels_.emplace_back();
+        resolved_.push_back(kNoBlock);
+        return labels_.size() - 1;
+    }
+
+    /// Binds @p label to the next block created.
+    void bind(Label label) { bound_.push_back(label); }
+
+    void
+    deferEdge(BlockId src, EdgeKind kind, double bias, Label label)
+    {
+        if (resolved_[label] != kNoBlock) {
+            proc_.addEdge(src, resolved_[label], kind, 0, bias);
+            return;
+        }
+        labels_[label].push_back(Pending{src, kind, bias});
+    }
+
+    BlockId
+    newBlock(std::uint32_t instrs, Terminator term)
+    {
+        const BlockId id = proc_.addBlock(instrs, term);
+        if (budget_ > 0)
+            --budget_;
+        for (Label label : bound_) {
+            resolved_[label] = id;
+            for (const Pending &pending : labels_[label]) {
+                proc_.addEdge(pending.src, id, pending.kind, 0,
+                              pending.bias);
+            }
+            labels_[label].clear();
+        }
+        bound_.clear();
+        return id;
+    }
+
+    std::uint32_t
+    blockInstrs()
+    {
+        // 1 .. 2*avg - 1, mean ~avg.
+        const auto span =
+            static_cast<std::uint64_t>(2 * spec_.avgBlockInstrs - 1);
+        return static_cast<std::uint32_t>(1 + rng_.nextBounded(span));
+    }
+
+    /// Adds a call site to a block when the dice say so. Call probability
+    /// falls off steeply with loop depth: real programs rarely call inside
+    /// their hottest inner loops, and a call there would swamp the
+    /// break-type mix.
+    void
+    maybeCall(BlockId id, unsigned depth)
+    {
+        if (self_ + 1 >= numProcs_)
+            return;  // leaf procedure
+        double prob = spec_.callProb;
+        for (unsigned d = 0; d < depth; ++d)
+            prob *= 0.2;
+        if (!rng_.nextBool(prob))
+            return;
+        BasicBlock &block = proc_.block(id);
+        const std::uint32_t limit = block.hasBranchInstr()
+                                        ? block.numInstrs - 1
+                                        : block.numInstrs;
+        if (limit == 0)
+            return;
+        // Callees have higher ids, keeping the call graph acyclic.
+        const auto callee = static_cast<ProcId>(
+            self_ + 1 + rng_.nextBounded(numProcs_ - self_ - 1));
+        const auto offset =
+            static_cast<std::uint32_t>(rng_.nextBounded(limit));
+        block.calls.push_back(CallSite{callee, offset});
+    }
+
+    /// Emits a straight-line block falling off the end.
+    void
+    emitStraight(unsigned depth)
+    {
+        const BlockId id = newBlock(blockInstrs(), Terminator::FallThrough);
+        const Label next = makeLabel();
+        deferEdge(id, EdgeKind::FallThrough, 1.0, next);
+        bind(next);
+        maybeCall(id, depth);
+    }
+
+    /// Draws the probability of the fall-through side of an if.
+    double
+    ifFallBias()
+    {
+        if (rng_.nextBool(spec_.balancedIfProb))
+            return 0.40 + 0.20 * rng_.nextDouble();
+        // Skewed: the hot side falls through hotSideFallProb of the time;
+        // otherwise the taken side is hot — headroom the aligners exploit.
+        const bool hot_falls = rng_.nextBool(spec_.hotSideFallProb);
+        return hot_falls ? spec_.ifSkewHot : 1.0 - spec_.ifSkewHot;
+    }
+
+    void
+    emitIf(unsigned depth)
+    {
+        const BlockId cond = newBlock(blockInstrs(), Terminator::CondBranch);
+        maybeCall(cond, depth);
+        double p_fall = ifFallBias();
+        if (lastCond_ != kNoBlock &&
+            rng_.nextBool(spec_.correlatedIfProb)) {
+            BasicBlock &block = proc_.block(cond);
+            block.correlatedWith = lastCond_;
+            block.correlatedInvert = rng_.nextBool(0.5);
+            p_fall = 0.5;  // realized rate follows the controlling branch
+        } else if (rng_.nextBool(spec_.patternedIfProb)) {
+            // Periodic data pattern: length 2-6, mixed outcomes.
+            const auto len =
+                static_cast<unsigned>(2 + rng_.nextBounded(5));
+            std::uint32_t mask;
+            do {
+                mask = static_cast<std::uint32_t>(
+                    rng_.nextBounded(1u << len));
+            } while (mask == 0 || mask == (1u << len) - 1u);
+            BasicBlock &block = proc_.block(cond);
+            block.patternLength = static_cast<std::uint8_t>(len);
+            block.patternMask = mask;
+            p_fall = 1.0 - static_cast<double>(__builtin_popcount(mask)) /
+                               static_cast<double>(len);
+        }
+        lastCond_ = cond;
+        const Label join = makeLabel();
+        if (rng_.nextBool(spec_.elseProb)) {
+            const Label else_head = makeLabel();
+            deferEdge(cond, EdgeKind::Taken, 1.0 - p_fall, else_head);
+            const Label then_head = makeLabel();
+            deferEdge(cond, EdgeKind::FallThrough, p_fall, then_head);
+            bind(then_head);
+            emitRegion(depth + 1, Exit{Exit::JumpToLabel, 0, join});
+            bind(else_head);
+            emitRegion(depth + 1, Exit{Exit::FallOff, 0, join});
+        } else {
+            deferEdge(cond, EdgeKind::Taken, 1.0 - p_fall, join);
+            const Label then_head = makeLabel();
+            deferEdge(cond, EdgeKind::FallThrough, p_fall, then_head);
+            bind(then_head);
+            emitRegion(depth + 1, Exit{Exit::FallOff, 0, join});
+        }
+        bind(join);
+    }
+
+    /// Draws a fixed trip count, or 0 for a stochastic loop.
+    unsigned
+    drawTripCount()
+    {
+        if (!rng_.nextBool(spec_.fixedTripProb))
+            return 0;
+        const unsigned lo = std::max(2u, spec_.minTripCount);
+        const unsigned hi = std::min(32u, std::max(lo, spec_.maxTripCount));
+        return static_cast<unsigned>(
+            lo + rng_.nextBounded(hi - lo + 1));
+    }
+
+    void
+    emitLoop(unsigned depth)
+    {
+        double p_continue = spec_.loopContinueProb +
+                            spec_.loopContinueJitter *
+                                (2.0 * rng_.nextDouble() - 1.0);
+        p_continue = std::clamp(p_continue, 0.05, 0.995);
+        const unsigned trip = drawTripCount();
+        if (trip != 0)
+            p_continue = 1.0 - 1.0 / static_cast<double>(trip);
+
+        if (rng_.nextBool(spec_.tightLoopProb)) {
+            // Tight loop: one block branching back to itself (the shape
+            // of ALVINN's input_hidden, paper Figure 2).
+            const BlockId body =
+                newBlock(blockInstrs(), Terminator::CondBranch);
+            if (trip != 0) {
+                BasicBlock &block = proc_.block(body);
+                block.patternLength = static_cast<std::uint8_t>(trip);
+                block.patternMask = (trip >= 32 ? ~0u : (1u << trip) - 1u) &
+                                    ~(1u << (trip - 1));
+            }
+            proc_.addEdge(body, body, EdgeKind::Taken, 0, p_continue);
+            const Label exit = makeLabel();
+            deferEdge(body, EdgeKind::FallThrough, 1.0 - p_continue, exit);
+            bind(exit);
+            return;
+        }
+
+        if (rng_.nextBool(spec_.whileLoopProb)) {
+            // while-style: test at the top, unconditional back branch.
+            const BlockId head =
+                newBlock(blockInstrs(), Terminator::CondBranch);
+            if (trip != 0) {
+                // Taken (the exit) only on the final test of each trip.
+                BasicBlock &block = proc_.block(head);
+                block.patternLength = static_cast<std::uint8_t>(trip);
+                block.patternMask = 1u << (trip - 1);
+            }
+            const Label exit = makeLabel();
+            deferEdge(head, EdgeKind::Taken, 1.0 - p_continue, exit);
+            const Label body = makeLabel();
+            deferEdge(head, EdgeKind::FallThrough, p_continue, body);
+            bind(body);
+            emitRegion(depth + 1, Exit{Exit::JumpToBlock, head, 0});
+            bind(exit);
+        } else {
+            // do-while: body first, conditional back branch at the bottom.
+            const BlockId head_id =
+                static_cast<BlockId>(proc_.numBlocks());
+            const Label latch_label = makeLabel();
+            emitRegion(depth + 1, Exit{Exit::FallOff, 0, latch_label});
+            bind(latch_label);
+            const BlockId latch =
+                newBlock(blockInstrs(), Terminator::CondBranch);
+            if (trip != 0) {
+                // Taken (continue) on every test but the trip's last.
+                BasicBlock &block = proc_.block(latch);
+                block.patternLength = static_cast<std::uint8_t>(trip);
+                block.patternMask = (trip >= 32 ? ~0u : (1u << trip) - 1u) &
+                                    ~(1u << (trip - 1));
+            }
+            proc_.addEdge(latch, head_id, EdgeKind::Taken, 0, p_continue);
+            const Label exit = makeLabel();
+            deferEdge(latch, EdgeKind::FallThrough, 1.0 - p_continue, exit);
+            bind(exit);
+        }
+    }
+
+    void
+    emitSwitch(unsigned depth)
+    {
+        const BlockId sw = newBlock(blockInstrs(), Terminator::IndirectJump);
+        const auto cases = static_cast<unsigned>(
+            2 + rng_.nextBounded(std::max(1u, spec_.maxSwitchCases - 1)));
+        const Label join = makeLabel();
+        for (unsigned c = 0; c < cases; ++c) {
+            const Label head = makeLabel();
+            // Skewed case popularity: case c gets weight 1/(c+1).
+            deferEdge(sw, EdgeKind::Other, 1.0 / (1.0 + c), head);
+            bind(head);
+            const bool last = c + 1 == cases;
+            emitRegion(depth + 1, last ? Exit{Exit::FallOff, 0, join}
+                                       : Exit{Exit::JumpToLabel, 0, join});
+        }
+        bind(join);
+    }
+
+    void
+    emitEarlyReturn()
+    {
+        const BlockId cond = newBlock(blockInstrs(), Terminator::CondBranch);
+        if (!earlyReturnUsed_) {
+            earlyReturnUsed_ = true;
+            earlyReturnLabel_ = makeLabel();
+        }
+        deferEdge(cond, EdgeKind::Taken, 0.05 + 0.10 * rng_.nextDouble(),
+                  earlyReturnLabel_);
+        const Label cont = makeLabel();
+        deferEdge(cond, EdgeKind::FallThrough, 1.0, cont);
+        bind(cont);
+    }
+
+    /**
+     * Emits a sequence of items followed by a tail block realizing the
+     * requested exit. Always creates at least the tail block.
+     */
+    void
+    emitRegion(unsigned depth, Exit exit)
+    {
+        // Emit items while budget remains; deeper regions are shorter.
+        const double continue_prob = depth == 0 ? 0.90 : 0.55;
+        while (budget_ > depth + 2 && rng_.nextBool(continue_prob)) {
+            const double can_nest = depth < spec_.maxLoopDepth ? 1.0 : 0.0;
+            const double w_loop = spec_.loopProb * can_nest;
+            const double w_if = spec_.ifProb;
+            const double w_switch = spec_.switchProb * can_nest;
+            const double w_ret = spec_.earlyReturnProb;
+            const double w_straight =
+                std::max(0.05, 1.0 - w_loop - w_if - w_switch - w_ret);
+            const double weights[] = {w_straight, w_loop, w_if, w_switch,
+                                      w_ret};
+            switch (rng_.nextWeighted(weights, 5)) {
+              case 0: emitStraight(depth); break;
+              case 1: emitLoop(depth); break;
+              case 2: emitIf(depth); break;
+              case 3: emitSwitch(depth); break;
+              case 4: emitEarlyReturn(); break;
+            }
+        }
+
+        // Tail block.
+        switch (exit.kind) {
+          case Exit::FallOff: {
+            const BlockId tail =
+                newBlock(blockInstrs(), Terminator::FallThrough);
+            maybeCall(tail, depth);
+            deferEdge(tail, EdgeKind::FallThrough, 1.0, exit.label);
+            bind(exit.label);
+            break;
+          }
+          case Exit::JumpToLabel: {
+            const BlockId tail =
+                newBlock(blockInstrs(), Terminator::UncondBranch);
+            maybeCall(tail, depth);
+            deferEdge(tail, EdgeKind::Taken, 1.0, exit.label);
+            break;
+          }
+          case Exit::JumpToBlock: {
+            const BlockId tail =
+                newBlock(blockInstrs(), Terminator::UncondBranch);
+            maybeCall(tail, depth);
+            proc_.addEdge(tail, exit.block, EdgeKind::Taken, 0, 1.0);
+            break;
+          }
+        }
+    }
+
+    Procedure &proc_;
+    Rng &rng_;
+    const ProgramSpec &spec_;
+    ProcId self_;
+    unsigned numProcs_;
+    unsigned budget_ = 0;
+
+    std::vector<std::vector<Pending>> labels_;
+    std::vector<BlockId> resolved_;
+    std::vector<Label> bound_;
+
+    bool earlyReturnUsed_ = false;
+    Label earlyReturnLabel_ = 0;
+    BlockId lastCond_ = kNoBlock;  ///< most recent if, for correlation
+};
+
+}  // namespace
+
+std::uint64_t
+traceSeed(const ProgramSpec &spec)
+{
+    SplitMix64 sm(spec.seed ^ 0x7261636553656564ull);  // "traceSeed"
+    return sm.next();
+}
+
+Program
+generateProgram(const ProgramSpec &spec)
+{
+    Program program(spec.name);
+    Rng rng(spec.seed);
+
+    for (unsigned p = 0; p < spec.numProcs; ++p) {
+        const ProcId id =
+            program.addProc(spec.name + "_proc" + std::to_string(p));
+        const auto span = static_cast<std::uint64_t>(
+            spec.maxBlocksPerProc - spec.minBlocksPerProc + 1);
+        const auto budget = static_cast<unsigned>(
+            spec.minBlocksPerProc + rng.nextBounded(span));
+        Rng proc_rng = rng.split();
+        ProcEmitter emitter(program.proc(id), proc_rng, spec, id,
+                            spec.numProcs);
+        emitter.emit(budget);
+    }
+
+    // Ensure every procedure is reachable: give uncalled procedures a call
+    // site from an earlier procedure.
+    std::vector<bool> called(spec.numProcs, false);
+    called[program.mainProc()] = true;
+    for (const auto &proc : program.procs()) {
+        for (const auto &block : proc.blocks()) {
+            for (const auto &site : block.calls)
+                called[site.callee] = true;
+        }
+    }
+    for (ProcId p = 0; p < spec.numProcs; ++p) {
+        if (called[p])
+            continue;
+        // Find a block in an earlier procedure with room for a call.
+        bool placed = false;
+        for (ProcId caller = 0; caller < p && !placed; ++caller) {
+            for (auto &block : program.proc(caller).blocks()) {
+                const std::uint32_t limit = block.hasBranchInstr()
+                                                ? block.numInstrs - 1
+                                                : block.numInstrs;
+                if (limit == 0)
+                    continue;
+                // Reuse an offset-free slot deterministically.
+                const auto offset = static_cast<std::uint32_t>(
+                    block.calls.size() % limit);
+                block.calls.push_back(CallSite{p, offset});
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            panic("generateProgram(%s): cannot reach procedure %u",
+                  spec.name.c_str(), p);
+    }
+
+    // Call sites must be in offset order for the walker.
+    for (auto &proc : program.procs()) {
+        for (auto &block : proc.blocks()) {
+            std::stable_sort(block.calls.begin(), block.calls.end(),
+                             [](const CallSite &a, const CallSite &b) {
+                                 return a.offset < b.offset;
+                             });
+        }
+    }
+
+    validateOrDie(program);
+    return program;
+}
+
+}  // namespace balign

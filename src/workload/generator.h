@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structured synthetic-program generator.
+ *
+ * Generates compiler-shaped procedures from a region grammar (sequences,
+ * if/then[/else] diamonds, while and do-while loops, switches via indirect
+ * jumps, calls, early returns), emitting blocks in source order so that
+ * every CFG fall-through edge targets the next block id — the invariant
+ * that makes the identity layout an exact model of the original binary.
+ *
+ * The generator assigns per-edge biases (ground-truth probabilities) only;
+ * execution weights come from profiling a walk, mirroring the paper's
+ * ATOM-based methodology.
+ */
+
+#ifndef BALIGN_WORKLOAD_GENERATOR_H
+#define BALIGN_WORKLOAD_GENERATOR_H
+
+#include "cfg/program.h"
+#include "workload/spec.h"
+
+namespace balign {
+
+/// Generates the program described by @p spec. The result validates and
+/// every procedure is reachable from main.
+Program generateProgram(const ProgramSpec &spec);
+
+/// Derives the deterministic walk seed for a spec (kept distinct from the
+/// generation seed).
+std::uint64_t traceSeed(const ProgramSpec &spec);
+
+}  // namespace balign
+
+#endif  // BALIGN_WORKLOAD_GENERATOR_H

@@ -1,0 +1,97 @@
+#include "workload/paper_figures.h"
+
+#include "cfg/builder.h"
+#include "cfg/validate.h"
+
+namespace balign {
+
+Program
+figure1Espresso()
+{
+    Program program("espresso_elim_lowering");
+    const ProcId pid = program.addProc("elim_lowering");
+    Procedure &proc = program.proc(pid);
+    CfgBuilder b(proc);
+
+    // id 0: entry stub; ids 1..8 are the paper's nodes 25..32.
+    const BlockId e = b.block(2, Terminator::FallThrough);    // entry
+    const BlockId n25 = b.block(3, Terminator::CondBranch);
+    const BlockId n26 = b.block(5, Terminator::CondBranch);
+    const BlockId n27 = b.block(4, Terminator::CondBranch);
+    const BlockId n28 = b.block(5, Terminator::CondBranch);
+    const BlockId n29 = b.block(1, Terminator::FallThrough);
+    const BlockId n30 = b.block(7, Terminator::FallThrough);
+    const BlockId n31 = b.block(3, Terminator::CondBranch);
+    const BlockId n32 = b.block(8, Terminator::Return);
+
+    // Weights are percent-of-transitions x 100 (flow conserving:
+    // entry 60 units in, 60 units out through node 32).
+    b.fallThrough(e, n25, 6000, 1.0);
+
+    b.fallThrough(n25, n26, 7000, 0.318);  // cold side
+    b.taken(n25, n31, 15000, 0.682);       // hot skip to the loop test
+
+    b.fallThrough(n26, n27, 6000, 0.857);
+    b.taken(n26, n28, 1000, 0.143);
+
+    b.fallThrough(n27, n28, 2000, 0.333);
+    b.taken(n27, n29, 4000, 0.667);        // hot skip, mispredicted orig.
+
+    b.fallThrough(n28, n29, 1500, 0.5);
+    b.taken(n28, n30, 1500, 0.5);
+
+    b.fallThrough(n29, n30, 5500, 1.0);
+    b.fallThrough(n30, n31, 7000, 1.0);
+
+    b.taken(n31, n25, 16000, 0.727);       // the paper's "16" hot edge
+    b.fallThrough(n31, n32, 6000, 0.273);
+
+    validateOrDie(program);
+    return program;
+}
+
+Program
+figure2Alvinn()
+{
+    Program program("alvinn_input_hidden");
+    const ProcId pid = program.addProc("input_hidden");
+    Procedure &proc = program.proc(pid);
+    CfgBuilder b(proc);
+
+    const BlockId entry = b.block(3, Terminator::FallThrough);
+    const BlockId loop = b.block(11, Terminator::CondBranch);
+    const BlockId exit = b.block(4, Terminator::Return);
+
+    b.fallThrough(entry, loop, 1000, 1.0);
+    b.taken(loop, loop, 99000, 0.99);   // ~99 iterations per activation
+    b.fallThrough(loop, exit, 1000, 0.01);
+
+    validateOrDie(program);
+    return program;
+}
+
+Program
+figure3Loop()
+{
+    Program program("figure3_loop");
+    const ProcId pid = program.addProc("loop");
+    Procedure &proc = program.proc(pid);
+    CfgBuilder b(proc);
+
+    const BlockId e = b.block(2, Terminator::FallThrough);   // entry
+    const BlockId a = b.block(4, Terminator::CondBranch);    // A
+    const BlockId bb = b.block(6, Terminator::FallThrough);  // B
+    const BlockId c = b.block(5, Terminator::UncondBranch);  // C
+    const BlockId d = b.block(3, Terminator::Return);        // D
+
+    b.fallThrough(e, a, 1, 1.0);
+    b.fallThrough(a, bb, 9000, 0.99989);  // hot loop path
+    b.taken(a, d, 1, 0.00011);            // cold exit
+    b.fallThrough(bb, c, 9000, 1.0);
+    b.taken(c, a, 9000, 1.0);             // loop-closing jump
+
+    validateOrDie(program);
+    return program;
+}
+
+}  // namespace balign

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Parameters describing a synthetic program model.
+ *
+ * The reproduction cannot run the SPEC92 binaries the paper traced, so it
+ * generates structured, compiler-shaped control-flow graphs whose static
+ * and dynamic statistics are tuned to the paper's Table 2: branch density
+ * (% of instructions that break control flow), taken bias, hot-site skew
+ * (Q-50/90/99), break-type mix, and the FP-versus-integer differences that
+ * drive the paper's results (FP codes: few, extremely hot, highly biased
+ * inner loops in large blocks; integer codes: many small blocks, dense
+ * branching, flatter site distribution).
+ */
+
+#ifndef BALIGN_WORKLOAD_SPEC_H
+#define BALIGN_WORKLOAD_SPEC_H
+
+#include <cstdint>
+#include <string>
+
+namespace balign {
+
+struct ProgramSpec
+{
+    std::string name;
+    /// Program class for the table groupings: "SPECfp92", "SPECint92",
+    /// "Other".
+    std::string group;
+
+    /// Generator seed (also used to derive the trace seed).
+    std::uint64_t seed = 1;
+
+    /// Procedures, including main.
+    unsigned numProcs = 12;
+
+    /// Block-count range per procedure (paper §4: commonly 5-15, with some
+    /// procedures containing hundreds).
+    unsigned minBlocksPerProc = 6;
+    unsigned maxBlocksPerProc = 40;
+
+    /// Mean straight-line block size in instructions; controls the %breaks
+    /// statistic (FP ~6.5% of instructions break, integer ~16%).
+    unsigned avgBlockInstrs = 6;
+
+    /// Maximum loop nesting depth.
+    unsigned maxLoopDepth = 2;
+
+    /// Probability that a region item is a loop.
+    double loopProb = 0.25;
+
+    /// Fraction of loops generated in while style (test at the top,
+    /// unconditional back branch) versus do-while style (conditional back
+    /// branch at the bottom).
+    double whileLoopProb = 0.35;
+
+    /// Fraction of loops that are TIGHT: a single basic block branching to
+    /// itself (the ALVINN input_hidden shape of paper Figure 2). Checked
+    /// before the while/do-while split.
+    double tightLoopProb = 0.15;
+
+    /// Mean probability of staying in a loop at its continuation test.
+    double loopContinueProb = 0.85;
+
+    /// Fraction of loops with a FIXED trip count (deterministic outcome
+    /// pattern on the continuation test) instead of a geometric one. Fixed
+    /// trips are what correlated predictors capture and per-site counters
+    /// cannot; FORTRAN array loops are nearly all fixed-trip.
+    double fixedTripProb = 0.3;
+
+    /// Trip-count range for fixed-trip loops.
+    unsigned minTripCount = 3;
+    unsigned maxTripCount = 24;
+
+    /// Fraction of ifs following a short periodic outcome pattern
+    /// (alternating / data-periodic branches).
+    double patternedIfProb = 0.10;
+
+    /// Fraction of ifs whose outcome is correlated with a recent branch in
+    /// the same procedure (testing related conditions), which two-level
+    /// predictors capture and per-site counters cannot.
+    double correlatedIfProb = 0.15;
+
+    /// Uniform jitter applied to loopContinueProb per loop.
+    double loopContinueJitter = 0.10;
+
+    /// Probability that a region item is an if.
+    double ifProb = 0.35;
+
+    /// Probability an if has an else clause.
+    double elseProb = 0.40;
+
+    /// Probability of executing the hot side of a skewed if.
+    double ifSkewHot = 0.80;
+
+    /// Fraction of ifs that are roughly balanced instead of skewed.
+    double balancedIfProb = 0.25;
+
+    /// For skewed ifs: probability the HOT side is the fall-through one.
+    /// 1993-era compilers laid code in source order, so hot taken sides
+    /// (error-check skips, loop-internal gotos) were common — exactly the
+    /// headroom branch alignment exploits.
+    double hotSideFallProb = 0.55;
+
+    /// Probability that a region item is a switch (indirect jump).
+    double switchProb = 0.02;
+    unsigned maxSwitchCases = 5;
+
+    /// Probability a straight-line block contains a call.
+    double callProb = 0.08;
+
+    /// Probability of an early-return test in a region.
+    double earlyReturnProb = 0.04;
+
+    /// Instruction budget for the profiling / evaluation walk.
+    std::uint64_t traceInstrs = 2'000'000;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_WORKLOAD_SPEC_H

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Unit tests for the CFG IR: blocks, edges, procedures, programs, the
+ * fluent builder, and structural validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.h"
+#include "cfg/program.h"
+#include "cfg/validate.h"
+
+using namespace balign;
+
+namespace {
+
+/// diamond: 0 -> (1 | 2) -> 3(return); fall edges 0->1, 2->3.
+Procedure
+makeDiamond()
+{
+    Procedure proc(0, "diamond");
+    CfgBuilder b(proc);
+    const BlockId head = b.block(3, Terminator::CondBranch);
+    const BlockId then_blk = b.block(4, Terminator::UncondBranch);
+    const BlockId else_blk = b.block(5, Terminator::FallThrough);
+    const BlockId join = b.block(2, Terminator::Return);
+    b.fallThrough(head, then_blk, 70);
+    b.taken(head, else_blk, 30);
+    b.taken(then_blk, join, 70);
+    b.fallThrough(else_blk, join, 30);
+    return proc;
+}
+
+}  // namespace
+
+TEST(Procedure, AddBlockAssignsDenseIds)
+{
+    Procedure proc(0, "p");
+    EXPECT_EQ(proc.addBlock(1, Terminator::FallThrough), 0u);
+    EXPECT_EQ(proc.addBlock(2, Terminator::Return), 1u);
+    EXPECT_EQ(proc.numBlocks(), 2u);
+    EXPECT_EQ(proc.block(0).numInstrs, 1u);
+    EXPECT_EQ(proc.block(1).term, Terminator::Return);
+}
+
+TEST(Procedure, EdgeWiring)
+{
+    const Procedure proc = makeDiamond();
+    EXPECT_EQ(proc.numEdges(), 4u);
+    EXPECT_EQ(proc.block(0).outEdges.size(), 2u);
+    EXPECT_EQ(proc.block(3).inEdges.size(), 2u);
+    const auto taken = proc.takenEdge(0);
+    ASSERT_GE(taken, 0);
+    EXPECT_EQ(proc.edge(static_cast<std::uint32_t>(taken)).dst, 2u);
+    const auto fall = proc.fallThroughEdge(0);
+    ASSERT_GE(fall, 0);
+    EXPECT_EQ(proc.edge(static_cast<std::uint32_t>(fall)).dst, 1u);
+}
+
+TEST(Procedure, FindMissingEdgeReturnsNegative)
+{
+    const Procedure proc = makeDiamond();
+    EXPECT_LT(proc.takenEdge(2), 0);   // fall-through block has no taken
+    EXPECT_LT(proc.fallThroughEdge(1), 0);  // uncond has no fall-through
+}
+
+TEST(Procedure, TotalInstrs)
+{
+    const Procedure proc = makeDiamond();
+    EXPECT_EQ(proc.totalInstrs(), 3u + 4u + 5u + 2u);
+}
+
+TEST(Procedure, TotalEdgeWeightAndClear)
+{
+    Procedure proc = makeDiamond();
+    EXPECT_EQ(proc.totalEdgeWeight(), 200u);
+    proc.clearWeights();
+    EXPECT_EQ(proc.totalEdgeWeight(), 0u);
+}
+
+TEST(Procedure, BlockWeightSumsInEdges)
+{
+    const Procedure proc = makeDiamond();
+    EXPECT_EQ(proc.blockWeight(3), 100u);
+    EXPECT_EQ(proc.blockWeight(0), 0u);  // entry: no in-edges
+}
+
+TEST(Program, AddProcAssignsIds)
+{
+    Program program("prog");
+    EXPECT_EQ(program.addProc("a"), 0u);
+    EXPECT_EQ(program.addProc("b"), 1u);
+    EXPECT_EQ(program.proc(1).name(), "b");
+    EXPECT_EQ(program.mainProc(), 0u);
+}
+
+TEST(Program, TotalInstrsAcrossProcs)
+{
+    Program program("prog");
+    program.addProc("a");
+    program.addProc("b");
+    program.proc(0).addBlock(5, Terminator::Return);
+    program.proc(1).addBlock(7, Terminator::Return);
+    EXPECT_EQ(program.totalInstrs(), 12u);
+}
+
+TEST(TerminatorName, AllNamed)
+{
+    EXPECT_STREQ(terminatorName(Terminator::FallThrough), "fallthrough");
+    EXPECT_STREQ(terminatorName(Terminator::CondBranch), "cond");
+    EXPECT_STREQ(terminatorName(Terminator::UncondBranch), "uncond");
+    EXPECT_STREQ(terminatorName(Terminator::IndirectJump), "indirect");
+    EXPECT_STREQ(terminatorName(Terminator::Return), "return");
+}
+
+// ---- CfgBuilder rule enforcement -------------------------------------------
+
+using CfgBuilderDeath = ::testing::Test;
+
+TEST(CfgBuilderDeath, RejectsSecondTakenEdge)
+{
+    Procedure proc(0, "p");
+    CfgBuilder b(proc);
+    const BlockId u = b.block(2, Terminator::UncondBranch);
+    const BlockId r = b.block(1, Terminator::Return);
+    b.taken(u, r);
+    EXPECT_DEATH(b.taken(u, r), "already has a taken edge");
+}
+
+TEST(CfgBuilderDeath, RejectsTakenFromFallThroughBlock)
+{
+    Procedure proc(0, "p");
+    CfgBuilder b(proc);
+    const BlockId f = b.block(2, Terminator::FallThrough);
+    const BlockId r = b.block(1, Terminator::Return);
+    EXPECT_DEATH(b.taken(f, r), "may only have a fall-through edge");
+}
+
+TEST(CfgBuilderDeath, RejectsEdgeFromReturnBlock)
+{
+    Procedure proc(0, "p");
+    CfgBuilder b(proc);
+    const BlockId r = b.block(1, Terminator::Return);
+    const BlockId x = b.block(1, Terminator::Return);
+    EXPECT_DEATH(b.taken(r, x), "may not have out-edges");
+}
+
+TEST(CfgBuilderDeath, RejectsZeroInstrBlock)
+{
+    Procedure proc(0, "p");
+    CfgBuilder b(proc);
+    EXPECT_DEATH(b.block(0, Terminator::Return), "at least one instruction");
+}
+
+TEST(CfgBuilderDeath, RejectsCallBeyondBlock)
+{
+    Procedure proc(0, "p");
+    CfgBuilder b(proc);
+    const BlockId blk = b.block(3, Terminator::FallThrough);
+    EXPECT_DEATH(b.call(blk, 0, 3), "beyond block");
+}
+
+TEST(CfgBuilder, OtherEdgesOnIndirect)
+{
+    Procedure proc(0, "p");
+    CfgBuilder b(proc);
+    const BlockId sw = b.block(2, Terminator::IndirectJump);
+    const BlockId c1 = b.block(1, Terminator::Return);
+    const BlockId c2 = b.block(1, Terminator::Return);
+    b.other(sw, c1).other(sw, c2);
+    EXPECT_EQ(proc.block(sw).outEdges.size(), 2u);
+}
+
+// ---- validate ----------------------------------------------------------------
+
+TEST(Validate, AcceptsWellFormedProgram)
+{
+    Program program("ok");
+    const ProcId pid = program.addProc("diamond");
+    program.proc(pid) = makeDiamond();
+    program.proc(pid).setId(pid);
+    EXPECT_TRUE(validate(program).empty());
+}
+
+TEST(Validate, EmptyProgramRejected)
+{
+    Program program("empty");
+    EXPECT_FALSE(validate(program).empty());
+}
+
+TEST(Validate, EmptyProcedureRejected)
+{
+    Program program("p");
+    program.addProc("empty");
+    const auto errors = validate(program);
+    ASSERT_FALSE(errors.empty());
+    EXPECT_NE(errors.front().message.find("no blocks"), std::string::npos);
+}
+
+TEST(Validate, CondBlockMissingFallThrough)
+{
+    Program program("p");
+    Procedure &proc = program.proc(program.addProc("q"));
+    const BlockId c = proc.addBlock(2, Terminator::CondBranch);
+    const BlockId r = proc.addBlock(1, Terminator::Return);
+    proc.addEdge(c, r, EdgeKind::Taken);
+    EXPECT_FALSE(validate(program).empty());
+}
+
+TEST(Validate, UncondBlockWithTwoEdges)
+{
+    Program program("p");
+    Procedure &proc = program.proc(program.addProc("q"));
+    const BlockId u = proc.addBlock(2, Terminator::UncondBranch);
+    const BlockId r = proc.addBlock(1, Terminator::Return);
+    proc.addEdge(u, r, EdgeKind::Taken);
+    proc.addEdge(u, r, EdgeKind::Taken);
+    EXPECT_FALSE(validate(program).empty());
+}
+
+TEST(Validate, IndirectWithoutTargets)
+{
+    Program program("p");
+    Procedure &proc = program.proc(program.addProc("q"));
+    proc.addBlock(2, Terminator::IndirectJump);
+    EXPECT_FALSE(validate(program).empty());
+}
+
+TEST(Validate, CallToUnknownProcedure)
+{
+    Program program("p");
+    Procedure &proc = program.proc(program.addProc("q"));
+    const BlockId blk = proc.addBlock(3, Terminator::Return);
+    proc.block(blk).calls.push_back(CallSite{99, 0});
+    const auto errors = validate(program);
+    bool found = false;
+    for (const auto &error : errors)
+        found |= error.message.find("unknown procedure") != std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(Validate, CallOverlappingTerminator)
+{
+    Program program("p");
+    program.addProc("callee");
+    Procedure &proc = program.proc(program.addProc("q"));
+    const BlockId blk = proc.addBlock(3, Terminator::Return);
+    // Return instruction occupies slot 2; a call there is invalid.
+    proc.block(blk).calls.push_back(CallSite{0, 2});
+    const auto errors = validate(program);
+    bool found = false;
+    for (const auto &error : errors)
+        found |= error.message.find("overlaps terminator") !=
+                 std::string::npos;
+    EXPECT_TRUE(found);
+}
+
+TEST(Validate, EntryOutOfRange)
+{
+    Program program("p");
+    Procedure &proc = program.proc(program.addProc("q"));
+    proc.addBlock(1, Terminator::Return);
+    proc.setEntry(5);
+    EXPECT_FALSE(validate(program).empty());
+}
+
+TEST(ValidateDeath, ValidateOrDiePanicsOnBadProgram)
+{
+    Program program("bad");
+    program.addProc("empty");
+    EXPECT_DEATH(validateOrDie(program), "failed validation");
+}

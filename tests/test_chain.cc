@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the ChainSet: linking rules, cycle rejection, the entry-block
+ * constraint, O(1) endpoint bookkeeping, LIFO undo, and a randomized
+ * property test against a brute-force reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "layout/chain.h"
+#include "support/rng.h"
+
+using namespace balign;
+
+TEST(ChainSet, InitiallySingletons)
+{
+    ChainSet chains(4);
+    for (BlockId b = 0; b < 4; ++b) {
+        EXPECT_EQ(chains.next(b), kNoBlock);
+        EXPECT_EQ(chains.prev(b), kNoBlock);
+        EXPECT_EQ(chains.head(b), b);
+        EXPECT_EQ(chains.tail(b), b);
+    }
+    EXPECT_EQ(chains.chains().size(), 4u);
+    EXPECT_EQ(chains.numLinks(), 0u);
+}
+
+TEST(ChainSet, BasicLink)
+{
+    ChainSet chains(4);
+    EXPECT_TRUE(chains.link(1, 2));
+    EXPECT_EQ(chains.next(1), 2u);
+    EXPECT_EQ(chains.prev(2), 1u);
+    EXPECT_EQ(chains.head(2), 1u);
+    EXPECT_EQ(chains.tail(1), 2u);
+    EXPECT_TRUE(chains.sameChain(1, 2));
+    EXPECT_FALSE(chains.sameChain(1, 3));
+}
+
+TEST(ChainSet, RejectsBusyEndpoints)
+{
+    ChainSet chains(4);
+    ASSERT_TRUE(chains.link(1, 2));
+    EXPECT_FALSE(chains.canLink(1, 3));  // 1 already has a successor
+    EXPECT_FALSE(chains.canLink(3, 2));  // 2 already has a predecessor
+    EXPECT_TRUE(chains.canLink(2, 3));   // extending the tail is fine
+}
+
+TEST(ChainSet, RejectsSelfLink)
+{
+    ChainSet chains(3);
+    EXPECT_FALSE(chains.canLink(1, 1));
+    EXPECT_FALSE(chains.link(1, 1));
+}
+
+TEST(ChainSet, RejectsLinkIntoEntry)
+{
+    ChainSet chains(3, 0);
+    EXPECT_FALSE(chains.canLink(1, 0));
+    EXPECT_TRUE(chains.canLink(0, 1));
+}
+
+TEST(ChainSet, RejectsCycles)
+{
+    ChainSet chains(4);
+    ASSERT_TRUE(chains.link(1, 2));
+    ASSERT_TRUE(chains.link(2, 3));
+    EXPECT_FALSE(chains.canLink(3, 1));  // would close 1-2-3-1
+    EXPECT_FALSE(chains.link(3, 1));
+}
+
+TEST(ChainSet, MergeChains)
+{
+    ChainSet chains(6);
+    ASSERT_TRUE(chains.link(1, 2));
+    ASSERT_TRUE(chains.link(3, 4));
+    ASSERT_TRUE(chains.link(2, 3));  // merge [1,2] + [3,4]
+    EXPECT_EQ(chains.head(4), 1u);
+    EXPECT_EQ(chains.tail(1), 4u);
+    EXPECT_TRUE(chains.sameChain(1, 4));
+
+    const auto lists = chains.chains();
+    // Chains: [0], [1,2,3,4], [5].
+    ASSERT_EQ(lists.size(), 3u);
+    EXPECT_EQ(lists[1], (std::vector<BlockId>{1, 2, 3, 4}));
+}
+
+TEST(ChainSet, UnlinkRestoresState)
+{
+    ChainSet chains(4);
+    ASSERT_TRUE(chains.link(1, 2));
+    ASSERT_TRUE(chains.link(2, 3));
+    chains.unlink(2, 3);
+    EXPECT_EQ(chains.next(2), kNoBlock);
+    EXPECT_EQ(chains.prev(3), kNoBlock);
+    EXPECT_EQ(chains.tail(1), 2u);
+    EXPECT_EQ(chains.head(3), 3u);
+    EXPECT_EQ(chains.numLinks(), 1u);
+    // Re-linking after undo works.
+    EXPECT_TRUE(chains.link(2, 3));
+}
+
+TEST(ChainSet, LifoUndoSequence)
+{
+    ChainSet chains(6);
+    ASSERT_TRUE(chains.link(1, 2));
+    ASSERT_TRUE(chains.link(3, 4));
+    ASSERT_TRUE(chains.link(2, 3));
+    ASSERT_TRUE(chains.link(4, 5));
+    chains.unlink(4, 5);
+    chains.unlink(2, 3);
+    chains.unlink(3, 4);
+    chains.unlink(1, 2);
+    for (BlockId b = 0; b < 6; ++b) {
+        EXPECT_EQ(chains.next(b), kNoBlock);
+        EXPECT_EQ(chains.head(b), b);
+        EXPECT_EQ(chains.tail(b), b);
+    }
+}
+
+TEST(ChainSetDeath, UnlinkNonexistentPanics)
+{
+    ChainSet chains(3);
+    EXPECT_DEATH(chains.unlink(0, 1), "not linked");
+}
+
+TEST(ChainSet, ChainsCoverEveryBlockOnce)
+{
+    ChainSet chains(8, 0);
+    chains.link(0, 3);
+    chains.link(3, 5);
+    chains.link(1, 2);
+    chains.link(6, 7);
+    const auto lists = chains.chains();
+    std::vector<int> seen(8, 0);
+    for (const auto &chain : lists)
+        for (BlockId b : chain)
+            ++seen[b];
+    for (int count : seen)
+        EXPECT_EQ(count, 1);
+}
+
+/**
+ * Property test: random link/unlink sequences agree with a brute-force
+ * reference implementation (adjacency walking).
+ */
+TEST(ChainSet, RandomizedAgainstBruteForce)
+{
+    const std::size_t n = 12;
+    Rng rng(2024);
+    for (int round = 0; round < 50; ++round) {
+        ChainSet chains(n, 0);
+        std::vector<BlockId> next_ref(n, kNoBlock), prev_ref(n, kNoBlock);
+        std::vector<std::pair<BlockId, BlockId>> stack;
+
+        auto ref_head = [&](BlockId b) {
+            while (prev_ref[b] != kNoBlock)
+                b = prev_ref[b];
+            return b;
+        };
+        auto ref_can_link = [&](BlockId s, BlockId d) {
+            return s != d && d != 0 && next_ref[s] == kNoBlock &&
+                   prev_ref[d] == kNoBlock && ref_head(s) != d;
+        };
+
+        for (int step = 0; step < 200; ++step) {
+            const bool do_unlink =
+                !stack.empty() && rng.nextBool(0.35);
+            if (do_unlink) {
+                const auto [s, d] = stack.back();
+                stack.pop_back();
+                chains.unlink(s, d);
+                next_ref[s] = kNoBlock;
+                prev_ref[d] = kNoBlock;
+            } else {
+                const auto s = static_cast<BlockId>(rng.nextBounded(n));
+                const auto d = static_cast<BlockId>(rng.nextBounded(n));
+                const bool expect = ref_can_link(s, d);
+                ASSERT_EQ(chains.canLink(s, d), expect)
+                    << "round " << round << " step " << step << " link "
+                    << s << "->" << d;
+                if (chains.link(s, d)) {
+                    stack.emplace_back(s, d);
+                    next_ref[s] = d;
+                    prev_ref[d] = s;
+                }
+            }
+            // Spot-check endpoint bookkeeping.
+            const auto probe = static_cast<BlockId>(rng.nextBounded(n));
+            EXPECT_EQ(chains.head(probe), ref_head(probe));
+        }
+    }
+}

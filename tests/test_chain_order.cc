@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for chain ordering policies: entry-first invariant, hot-first
+ * ordering, and the BT/FNT precedence ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cfg/builder.h"
+#include "layout/chain_order.h"
+
+using namespace balign;
+
+namespace {
+
+/// entry(0) -> A(1) hot -> B(2) cold, C(3) return target.
+Procedure
+makeProc()
+{
+    Procedure proc(0, "p");
+    CfgBuilder b(proc);
+    const BlockId entry = b.block(1, Terminator::CondBranch);
+    const BlockId a = b.block(2, Terminator::UncondBranch);
+    const BlockId bb = b.block(2, Terminator::UncondBranch);
+    const BlockId c = b.block(1, Terminator::Return);
+    b.fallThrough(entry, a, 900);
+    b.taken(entry, bb, 100);
+    b.taken(a, c, 900);
+    b.taken(bb, c, 100);
+    return proc;
+}
+
+bool
+isPermutation(const std::vector<BlockId> &order, std::size_t n)
+{
+    if (order.size() != n)
+        return false;
+    std::vector<bool> seen(n, false);
+    for (BlockId b : order) {
+        if (b >= n || seen[b])
+            return false;
+        seen[b] = true;
+    }
+    return true;
+}
+
+}  // namespace
+
+TEST(ChainOrder, HotFirstIsPermutationWithEntryFirst)
+{
+    const Procedure proc = makeProc();
+    ChainSet chains(proc.numBlocks(), proc.entry());
+    chains.link(0, 1);  // entry chain [0,1]
+    const auto order =
+        orderChains(proc, chains, ChainOrderPolicy::HotFirst);
+    EXPECT_TRUE(isPermutation(order, proc.numBlocks()));
+    EXPECT_EQ(order.front(), proc.entry());
+    // Entry chain is contiguous at the front.
+    EXPECT_EQ(order[1], 1u);
+}
+
+TEST(ChainOrder, HotFirstOrdersByBlockWeight)
+{
+    const Procedure proc = makeProc();
+    ChainSet chains(proc.numBlocks(), proc.entry());
+    // Chains: [0], [1], [2], [3]. Weights: b1=900, b2=100, b3=1000.
+    const auto order =
+        orderChains(proc, chains, ChainOrderPolicy::HotFirst);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 0u);  // entry
+    EXPECT_EQ(order[1], 3u);  // weight 1000
+    EXPECT_EQ(order[2], 1u);  // weight 900
+    EXPECT_EQ(order[3], 2u);  // weight 100
+}
+
+TEST(ChainOrder, BtFntPrecedencePlacesHotTakenTargetEarlier)
+{
+    // A conditional whose hot direction is the TAKEN edge: BT/FNT wants
+    // the target laid out before the branch (backward = predicted taken).
+    Procedure proc(0, "p");
+    CfgBuilder b(proc);
+    const BlockId entry = b.block(1, Terminator::FallThrough);
+    const BlockId head = b.block(2, Terminator::CondBranch);
+    const BlockId cold = b.block(2, Terminator::FallThrough);
+    const BlockId hot = b.block(3, Terminator::Return);
+    const BlockId tail = b.block(1, Terminator::Return);
+    b.fallThrough(entry, head, 1000);
+    b.taken(head, hot, 900);
+    b.fallThrough(head, cold, 100);
+    b.fallThrough(cold, tail, 100);
+
+    ChainSet chains(proc.numBlocks(), proc.entry());
+    chains.link(0, 1);  // [entry, head]
+    chains.link(2, 4);  // [cold, tail]
+
+    const auto order =
+        orderChains(proc, chains, ChainOrderPolicy::BtFntPrecedence);
+    EXPECT_TRUE(order.front() == proc.entry());
+    const auto pos = [&](BlockId blk) {
+        return std::find(order.begin(), order.end(), blk) - order.begin();
+    };
+    // The entry chain must stay first, so the hot taken target cannot be
+    // before the branch here; but the constraint should at least place the
+    // hot chain before the cold one (hot-first tie-breaking).
+    EXPECT_LT(pos(hot), pos(cold));
+}
+
+TEST(ChainOrder, BtFntPrecedenceBackwardBranchForLoop)
+{
+    // A loop rotated so the latch branch targets a separate chain: the
+    // precedence ordering should put the target chain first (after entry).
+    Procedure proc(0, "p");
+    CfgBuilder b(proc);
+    const BlockId entry = b.block(1, Terminator::UncondBranch);
+    const BlockId body = b.block(4, Terminator::FallThrough);
+    const BlockId latch = b.block(1, Terminator::CondBranch);
+    const BlockId exit = b.block(2, Terminator::Return);
+    b.taken(entry, body, 10);
+    b.fallThrough(body, latch, 1000);
+    b.taken(latch, body, 990);  // hot back edge
+    b.fallThrough(latch, exit, 10);
+
+    ChainSet chains(proc.numBlocks(), proc.entry());
+    chains.link(1, 2);  // [body, latch]
+
+    const auto order =
+        orderChains(proc, chains, ChainOrderPolicy::BtFntPrecedence);
+    const auto pos = [&](BlockId blk) {
+        return std::find(order.begin(), order.end(), blk) - order.begin();
+    };
+    // latch -> body is intra-chain (the link is body->latch; the taken
+    // edge crosses from latch back to body's chain head): target chain ==
+    // own chain, so no constraint is generated — but exit should follow
+    // the loop chain under hot-first tie-breaking.
+    EXPECT_EQ(pos(entry), 0);
+    EXPECT_LT(pos(body), pos(exit));
+}
+
+TEST(ChainOrder, SingleChainTrivial)
+{
+    const Procedure proc = makeProc();
+    ChainSet chains(proc.numBlocks(), proc.entry());
+    chains.link(0, 1);
+    chains.link(1, 3);
+    chains.link(3, 2);
+    for (auto policy : {ChainOrderPolicy::HotFirst,
+                        ChainOrderPolicy::BtFntPrecedence}) {
+        const auto order = orderChains(proc, chains, policy);
+        EXPECT_EQ(order, (std::vector<BlockId>{0, 1, 3, 2}));
+    }
+}
+
+TEST(ChainOrder, PolicyNames)
+{
+    EXPECT_STREQ(chainOrderPolicyName(ChainOrderPolicy::HotFirst),
+                 "hot-first");
+    EXPECT_STREQ(chainOrderPolicyName(ChainOrderPolicy::BtFntPrecedence),
+                 "btfnt-precedence");
+}

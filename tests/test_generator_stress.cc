@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Stress tests for the workload generator and the full pipeline under
+ * extreme parameter settings — robustness against degenerate shapes
+ * (no loops, all switches, single block budgets, huge call densities).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/validate.h"
+#include "layout/materialize.h"
+#include "sim/cpi.h"
+#include "workload/generator.h"
+
+using namespace balign;
+
+namespace {
+
+ProgramSpec
+base(std::uint64_t seed)
+{
+    ProgramSpec spec;
+    spec.name = "stress";
+    spec.seed = seed;
+    spec.numProcs = 4;
+    spec.minBlocksPerProc = 3;
+    spec.maxBlocksPerProc = 12;
+    spec.traceInstrs = 20'000;
+    return spec;
+}
+
+void
+runFullPipeline(const ProgramSpec &spec)
+{
+    const PreparedProgram prepared = prepareProgram(spec);
+    EXPECT_TRUE(validate(prepared.program).empty()) << spec.name;
+    const std::vector<ExperimentConfig> configs = {
+        {Arch::Fallthrough, AlignerKind::Original},
+        {Arch::Fallthrough, AlignerKind::Try15},
+        {Arch::BtbSmall, AlignerKind::Cost},
+    };
+    const ExperimentRun run = runConfigs(prepared, configs);
+    EXPECT_GT(run.origInstrs, 0u);
+    for (const auto &cell : run.cells)
+        EXPECT_GE(cell.relCpi, 0.99);
+}
+
+}  // namespace
+
+TEST(GeneratorStress, NoLoopsAtAll)
+{
+    ProgramSpec spec = base(1);
+    spec.loopProb = 0.0;
+    spec.tightLoopProb = 0.0;
+    runFullPipeline(spec);
+}
+
+TEST(GeneratorStress, OnlyLoops)
+{
+    ProgramSpec spec = base(2);
+    spec.loopProb = 1.0;
+    spec.ifProb = 0.0;
+    spec.switchProb = 0.0;
+    spec.earlyReturnProb = 0.0;
+    runFullPipeline(spec);
+}
+
+TEST(GeneratorStress, SwitchHeavy)
+{
+    ProgramSpec spec = base(3);
+    spec.switchProb = 0.8;
+    spec.maxSwitchCases = 8;
+    spec.loopProb = 0.05;
+    runFullPipeline(spec);
+}
+
+TEST(GeneratorStress, CallSaturated)
+{
+    ProgramSpec spec = base(4);
+    spec.callProb = 1.0;
+    spec.numProcs = 8;
+    runFullPipeline(spec);
+}
+
+TEST(GeneratorStress, TinyBlocks)
+{
+    ProgramSpec spec = base(5);
+    spec.avgBlockInstrs = 1;
+    runFullPipeline(spec);
+}
+
+TEST(GeneratorStress, HugeBlocks)
+{
+    ProgramSpec spec = base(6);
+    spec.avgBlockInstrs = 200;
+    runFullPipeline(spec);
+}
+
+TEST(GeneratorStress, MinimalBudget)
+{
+    ProgramSpec spec = base(7);
+    spec.minBlocksPerProc = 1;
+    spec.maxBlocksPerProc = 1;
+    runFullPipeline(spec);
+}
+
+TEST(GeneratorStress, DeepNesting)
+{
+    ProgramSpec spec = base(8);
+    spec.maxLoopDepth = 6;
+    spec.loopProb = 0.6;
+    spec.maxBlocksPerProc = 60;
+    runFullPipeline(spec);
+}
+
+TEST(GeneratorStress, AlwaysEarlyReturn)
+{
+    ProgramSpec spec = base(9);
+    spec.earlyReturnProb = 0.9;
+    runFullPipeline(spec);
+}
+
+TEST(GeneratorStress, SingleProcedure)
+{
+    ProgramSpec spec = base(10);
+    spec.numProcs = 1;
+    runFullPipeline(spec);
+}
+
+TEST(GeneratorStress, AllPatternsAndCorrelation)
+{
+    ProgramSpec spec = base(11);
+    spec.fixedTripProb = 1.0;
+    spec.patternedIfProb = 1.0;
+    spec.correlatedIfProb = 1.0;
+    runFullPipeline(spec);
+}
+
+TEST(GeneratorStress, ExtremeBias)
+{
+    ProgramSpec spec = base(12);
+    spec.loopContinueProb = 0.995;
+    spec.loopContinueJitter = 0.0;
+    spec.ifSkewHot = 0.999;
+    spec.balancedIfProb = 0.0;
+    runFullPipeline(spec);
+}
+
+TEST(GeneratorStress, ManyProcedures)
+{
+    ProgramSpec spec = base(13);
+    spec.numProcs = 64;
+    spec.minBlocksPerProc = 2;
+    spec.maxBlocksPerProc = 5;
+    runFullPipeline(spec);
+}

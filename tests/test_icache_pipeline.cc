@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the instruction cache model and the Alpha 21064 pipeline
+ * timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.h"
+#include "core/align_program.h"
+#include "layout/materialize.h"
+#include "sim/icache.h"
+#include "sim/pipeline.h"
+#include "trace/profiler.h"
+#include "trace/walker.h"
+
+using namespace balign;
+
+// ---- ICache ------------------------------------------------------------------
+
+TEST(ICache, ColdMissThenHit)
+{
+    ICache cache(1024, 32);  // 32 lines of 8 instructions
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_TRUE(cache.access(7));   // same line
+    EXPECT_FALSE(cache.access(8));  // next line
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(ICache, DirectMappedConflict)
+{
+    ICache cache(1024, 32);  // 32 lines => addresses 0 and 256 conflict
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_FALSE(cache.access(256));  // evicts line 0
+    EXPECT_FALSE(cache.access(0));    // miss again
+    EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(ICache, AccessRangeCountsLineMisses)
+{
+    ICache cache(1024, 32);
+    // 20 instructions starting at 4 span lines 0, 1, 2 (8 instrs each).
+    EXPECT_EQ(cache.accessRange(4, 20), 3u);
+    EXPECT_EQ(cache.accessRange(4, 20), 0u);  // all hits now
+    EXPECT_EQ(cache.accessRange(0, 0), 0u);   // empty range
+}
+
+TEST(ICache, Geometry)
+{
+    ICache cache(8192, 32);
+    EXPECT_EQ(cache.numLines(), 256u);
+    EXPECT_EQ(cache.instrsPerLine(), 8u);
+}
+
+TEST(ICacheDeath, RejectsBadGeometry)
+{
+    EXPECT_DEATH(ICache(1000, 32), "power of two");
+    EXPECT_DEATH(ICache(32, 64), "bad geometry");
+}
+
+// ---- Alpha 21064 model ----------------------------------------------------------
+
+namespace {
+
+/// Deterministic loop (pattern T,T,T,N) as in the evaluator tests.
+Program
+patternedLoop()
+{
+    Program program("ploop");
+    Procedure &proc = program.proc(program.addProc("main"));
+    CfgBuilder b(proc);
+    const BlockId entry = b.block(2, Terminator::FallThrough);
+    const BlockId loop = b.block(4, Terminator::CondBranch);
+    const BlockId exit = b.block(1, Terminator::Return);
+    b.fallThrough(entry, loop, 1);
+    b.taken(loop, loop, 3);
+    b.fallThrough(loop, exit, 1);
+    proc.block(loop).patternLength = 4;
+    proc.block(loop).patternMask = 0b0111;
+    return program;
+}
+
+}  // namespace
+
+TEST(Alpha21064, CycleArithmetic)
+{
+    const Program program = patternedLoop();
+    const ProgramLayout layout = originalLayout(program);
+    PipelineParams params;
+    params.icacheMissPenalty = 0.0;       // isolate branch effects
+    params.misfetchSquashFraction = 0.0;  // full misfetch cost
+    Alpha21064Model model(program, layout, params);
+
+    WalkOptions options;
+    options.instrBudget = 1000;
+    options.restartOnExit = false;
+    walk(program, options, model.sink());
+
+    EXPECT_EQ(model.instrs(), 19u);
+    // Line predictor: all slots cold after the single line fill; the loop
+    // branch is backward => BT/FNT static predicts taken. Iterations:
+    // T (cold: predicted taken, correct, misfetch), then slot=Taken:
+    // T, T correct (misfetch x2), N mispredict.
+    EXPECT_EQ(model.condMispredicts(), 1u);
+    EXPECT_EQ(model.misfetches(), 3u);
+    // cycles = ceil(19/2) + 1*5 + 3*1 + 0 = 10 + 5 + 3.
+    EXPECT_DOUBLE_EQ(model.cycles(), 18.0);
+}
+
+TEST(Alpha21064, MisfetchSquashReducesCost)
+{
+    const Program program = patternedLoop();
+    const ProgramLayout layout = originalLayout(program);
+    PipelineParams params;
+    params.icacheMissPenalty = 0.0;
+    params.misfetchSquashFraction = 0.30;
+    Alpha21064Model model(program, layout, params);
+    WalkOptions options;
+    options.instrBudget = 1000;
+    options.restartOnExit = false;
+    walk(program, options, model.sink());
+    // 3 misfetches now cost 3 * 0.7 = 2.1 cycles.
+    EXPECT_DOUBLE_EQ(model.cycles(), 10.0 + 5.0 + 2.1);
+}
+
+TEST(Alpha21064, ICacheMissesChargePenalty)
+{
+    const Program program = patternedLoop();
+    const ProgramLayout layout = originalLayout(program);
+    PipelineParams params;
+    params.icacheMissPenalty = 10.0;
+    Alpha21064Model model(program, layout, params);
+    WalkOptions options;
+    options.instrBudget = 1000;
+    options.restartOnExit = false;
+    walk(program, options, model.sink());
+    // The static footprint is 7 instructions (addresses 0..6): one
+    // 32-byte line, filled once.
+    EXPECT_EQ(model.icacheMisses(), 1u);
+}
+
+TEST(Alpha21064, LinePredictorLearnsLoopDirection)
+{
+    // Long-running loop: after the first cold prediction, the 1-bit line
+    // predictor follows the previous outcome: with pattern TTTN each
+    // period mispredicts the exit and the re-entry (classic 1-bit
+    // behaviour), except the very first iteration.
+    const Program program = patternedLoop();
+    const ProgramLayout layout = originalLayout(program);
+    PipelineParams params;
+    Alpha21064Model model(program, layout, params);
+    WalkOptions options;
+    options.instrBudget = 19 * 10;  // ten runs
+    walk(program, options, model.sink());
+    // Each run of 4 executions: N mispredicted (bit was T) and next run's
+    // first T mispredicted (bit left N)... but each run re-enters after a
+    // fresh walk restart with the bit preserved (same cache line, no
+    // eviction): expect ~2 mispredicts per run.
+    EXPECT_NEAR(static_cast<double>(model.condMispredicts()),
+                2.0 * 10 - 1.0, 2.0);
+}
+
+TEST(Alpha21064, AlignmentNeverIncreasesCyclesOnSkewedDiamond)
+{
+    // A diamond with a hot taken side: alignment inverts it; the aligned
+    // layout must not be slower under the pipeline model.
+    Program program("diamond");
+    Procedure &proc = program.proc(program.addProc("main"));
+    CfgBuilder b(proc);
+    const BlockId head = b.block(2, Terminator::CondBranch);
+    const BlockId cold = b.block(6, Terminator::UncondBranch);
+    const BlockId hot = b.block(6, Terminator::FallThrough);
+    const BlockId join = b.block(2, Terminator::Return);
+    b.fallThrough(head, cold, 0, 0.1);
+    b.taken(head, hot, 0, 0.9);
+    b.taken(cold, join, 0, 1.0);
+    b.fallThrough(hot, join, 0, 1.0);
+
+    WalkOptions options;
+    options.seed = 3;
+    options.instrBudget = 50'000;
+
+    // Profile, then align.
+    {
+        Profiler profiler(program);
+        walk(program, options, profiler);
+    }
+    const CostModel model(Arch::PhtDirect);
+    const ProgramLayout orig = originalLayout(program);
+    const ProgramLayout aligned =
+        alignProgram(program, AlignerKind::Try15, &model);
+
+    Alpha21064Model orig_model(program, orig);
+    Alpha21064Model aligned_model(program, aligned);
+    MultiSink fanout;
+    fanout.add(&orig_model.sink());
+    fanout.add(&aligned_model.sink());
+    walk(program, options, fanout);
+    EXPECT_LE(aligned_model.cycles(), orig_model.cycles());
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for path recording and replay: a replayed stream must be
+ * indistinguishable from the live walk for every consumer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.h"
+#include "trace/path.h"
+#include "trace/profiler.h"
+#include "trace/walker.h"
+#include "workload/generator.h"
+#include "workload/suite.h"
+
+using namespace balign;
+
+TEST(Path, ReplayReproducesRecording)
+{
+    ProgramSpec spec = suiteSpec("compress");
+    spec.traceInstrs = 20'000;
+    const Program program = generateProgram(spec);
+
+    WalkOptions options;
+    options.seed = traceSeed(spec);
+    options.instrBudget = spec.traceInstrs;
+
+    PathRecorder original;
+    walk(program, options, original);
+
+    PathRecorder copy;
+    original.replay(program, copy);
+    EXPECT_EQ(original.events(), copy.events());
+}
+
+TEST(Path, ReplayedProfileEqualsLiveProfile)
+{
+    ProgramSpec spec = suiteSpec("compress");
+    spec.traceInstrs = 20'000;
+    Program program = generateProgram(spec);
+
+    WalkOptions options;
+    options.seed = traceSeed(spec);
+    options.instrBudget = spec.traceInstrs;
+
+    PathRecorder recorder;
+    walk(program, options, recorder);
+
+    // Live profile.
+    program.clearWeights();
+    Profiler live(program);
+    walk(program, options, live);
+    std::vector<Weight> live_weights;
+    for (const auto &proc : program.procs())
+        for (const auto &edge : proc.edges())
+            live_weights.push_back(edge.weight);
+    const ProgramStats live_stats = live.stats();
+
+    // Replayed profile.
+    program.clearWeights();
+    Profiler replayed(program);
+    recorder.replay(program, replayed);
+    std::vector<Weight> replay_weights;
+    for (const auto &proc : program.procs())
+        for (const auto &edge : proc.edges())
+            replay_weights.push_back(edge.weight);
+
+    EXPECT_EQ(live_weights, replay_weights);
+    EXPECT_EQ(live_stats.instrsTraced, replayed.stats().instrsTraced);
+    EXPECT_EQ(live_stats.condBranches, replayed.stats().condBranches);
+    EXPECT_EQ(live_stats.returns, replayed.stats().returns);
+}
+
+TEST(Path, MultiSinkFansOutIdentically)
+{
+    ProgramSpec spec = suiteSpec("compress");
+    spec.traceInstrs = 10'000;
+    const Program program = generateProgram(spec);
+
+    WalkOptions options;
+    options.instrBudget = spec.traceInstrs;
+
+    PathRecorder a, b;
+    MultiSink fanout;
+    fanout.add(&a);
+    fanout.add(&b);
+    walk(program, options, fanout);
+    EXPECT_EQ(a.events(), b.events());
+    EXPECT_GT(a.size(), 0u);
+}
+
+TEST(Path, ClearEmptiesRecorder)
+{
+    Program program("tiny");
+    program.proc(program.addProc("main")).addBlock(1, Terminator::Return);
+    WalkOptions options;
+    options.instrBudget = 10;
+    PathRecorder recorder;
+    walk(program, options, recorder);
+    EXPECT_GT(recorder.size(), 0u);
+    recorder.clear();
+    EXPECT_EQ(recorder.size(), 0u);
+}

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the dynamic predictor structures: direct-mapped PHT, gshare
+ * (correlation) PHT, set-associative BTB and the return-address stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/btb.h"
+#include "bpred/gshare.h"
+#include "bpred/pht.h"
+#include "bpred/ras.h"
+
+using namespace balign;
+
+// ---- PHT --------------------------------------------------------------------
+
+TEST(Pht, DefaultsNotTaken)
+{
+    PhtDirect pht(16);
+    for (Addr a = 0; a < 16; ++a)
+        EXPECT_FALSE(pht.predict(a));
+}
+
+TEST(Pht, LearnsDirectionWithHysteresis)
+{
+    PhtDirect pht(16);
+    pht.update(5, true);  // weakly-NT -> weakly-T
+    EXPECT_TRUE(pht.predict(5));
+    pht.update(5, true);  // strongly taken
+    pht.update(5, false);
+    EXPECT_TRUE(pht.predict(5));  // hysteresis survives one NT
+    pht.update(5, false);
+    EXPECT_FALSE(pht.predict(5));
+}
+
+TEST(Pht, IndexAliasing)
+{
+    PhtDirect pht(16);
+    pht.update(3, true);
+    // 3 and 19 collide in a 16-entry table.
+    EXPECT_TRUE(pht.predict(19));
+    // 4 does not.
+    EXPECT_FALSE(pht.predict(4));
+}
+
+TEST(Pht, LoopBranchAccuracy)
+{
+    // A loop taken 9 of 10 times: after warmup the 2-bit counter
+    // mispredicts only the exit (and nothing else).
+    PhtDirect pht(64);
+    int mispredicts = 0;
+    for (int warm = 0; warm < 10; ++warm)
+        pht.update(7, true);
+    for (int iter = 0; iter < 100; ++iter) {
+        const bool taken = (iter % 10) != 9;
+        mispredicts += pht.predict(7) != taken;
+        pht.update(7, taken);
+    }
+    EXPECT_EQ(mispredicts, 10);
+}
+
+TEST(PhtDeath, RejectsNonPowerOfTwo)
+{
+    EXPECT_DEATH(PhtDirect(100), "power of two");
+}
+
+// ---- gshare -----------------------------------------------------------------
+
+TEST(Gshare, HistoryShiftsOutcomes)
+{
+    Gshare gshare(64, 4);
+    EXPECT_EQ(gshare.history(), 0u);
+    gshare.update(1, true);
+    gshare.update(1, false);
+    gshare.update(1, true);
+    EXPECT_EQ(gshare.history(), 0b101u);
+}
+
+TEST(Gshare, HistoryMasked)
+{
+    Gshare gshare(64, 2);
+    for (int i = 0; i < 10; ++i)
+        gshare.update(1, true);
+    EXPECT_EQ(gshare.history(), 0b11u);
+}
+
+TEST(Gshare, PredictsAlternatingPatternPerfectlyAfterWarmup)
+{
+    // A strictly alternating branch defeats a per-site 2-bit counter but
+    // is captured exactly by history-indexed counters.
+    Gshare gshare(256, 8);
+    bool taken = false;
+    for (int i = 0; i < 64; ++i) {  // warmup
+        gshare.update(40, taken);
+        taken = !taken;
+    }
+    int mispredicts = 0;
+    for (int i = 0; i < 100; ++i) {
+        mispredicts += gshare.predict(40) != taken;
+        gshare.update(40, taken);
+        taken = !taken;
+    }
+    EXPECT_EQ(mispredicts, 0);
+
+    // Reference: the per-site counter gets every other one wrong.
+    PhtDirect pht(256);
+    taken = false;
+    int pht_mispredicts = 0;
+    for (int i = 0; i < 100; ++i) {
+        pht_mispredicts += pht.predict(40) != taken;
+        pht.update(40, taken);
+        taken = !taken;
+    }
+    EXPECT_GE(pht_mispredicts, 49);
+}
+
+TEST(Gshare, CapturesCorrelatedPair)
+{
+    // Branch B repeats branch A's outcome; A alternates. After warmup,
+    // B's prediction keyed on history containing A's outcome is perfect.
+    Gshare gshare(1024, 6);
+    bool a = false;
+    for (int round = 0; round < 200; ++round) {
+        gshare.update(100, a);        // branch A
+        gshare.update(200, a);        // branch B copies A
+        a = !a;
+    }
+    int mispredicts = 0;
+    for (int round = 0; round < 100; ++round) {
+        gshare.update(100, a);
+        mispredicts += gshare.predict(200) != a;
+        gshare.update(200, a);
+        a = !a;
+    }
+    EXPECT_LE(mispredicts, 2);
+}
+
+TEST(GshareDeath, RejectsBadGeometry)
+{
+    EXPECT_DEATH(Gshare(100, 12), "power of two");
+    EXPECT_DEATH(Gshare(64, 0), "history");
+}
+
+// ---- BTB --------------------------------------------------------------------
+
+TEST(Btb, MissesWhenEmpty)
+{
+    Btb btb(64, 2);
+    EXPECT_FALSE(btb.lookup(100).has_value());
+}
+
+TEST(Btb, OnlyTakenBranchesInserted)
+{
+    Btb btb(64, 2);
+    btb.update(100, false, 200);
+    EXPECT_FALSE(btb.lookup(100).has_value());
+    btb.update(100, true, 200);
+    const auto hit = btb.lookup(100);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->target, 200u);
+    EXPECT_TRUE(hit->counterTaken);  // inserted weakly taken
+}
+
+TEST(Btb, CounterTrainsDown)
+{
+    Btb btb(64, 2);
+    btb.update(100, true, 200);
+    btb.update(100, false, 200);
+    const auto hit = btb.lookup(100);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_FALSE(hit->counterTaken);
+}
+
+TEST(Btb, TargetRetrainedForIndirect)
+{
+    Btb btb(64, 2);
+    btb.update(100, true, 200);
+    btb.update(100, true, 300);
+    EXPECT_EQ(btb.lookup(100)->target, 300u);
+}
+
+TEST(Btb, SetConflictEvictsLru)
+{
+    // 4 entries, 2 ways => 2 sets. Addresses 0, 2, 4 share set 0.
+    Btb btb(4, 2);
+    btb.update(0, true, 10);
+    btb.update(2, true, 20);
+    btb.update(4, true, 30);  // evicts LRU (addr 0)
+    EXPECT_FALSE(btb.lookup(0).has_value());
+    EXPECT_TRUE(btb.lookup(2).has_value());
+    EXPECT_TRUE(btb.lookup(4).has_value());
+}
+
+TEST(Btb, LruRefreshOnHit)
+{
+    Btb btb(4, 2);
+    btb.update(0, true, 10);
+    btb.update(2, true, 20);
+    btb.update(0, true, 10);  // refresh 0: LRU is now 2
+    btb.update(4, true, 30);
+    EXPECT_TRUE(btb.lookup(0).has_value());
+    EXPECT_FALSE(btb.lookup(2).has_value());
+}
+
+TEST(Btb, DifferentSetsDoNotConflict)
+{
+    Btb btb(4, 2);
+    btb.update(0, true, 10);
+    btb.update(1, true, 11);
+    btb.update(2, true, 12);
+    btb.update(3, true, 13);
+    EXPECT_TRUE(btb.lookup(0).has_value());
+    EXPECT_TRUE(btb.lookup(1).has_value());
+    EXPECT_TRUE(btb.lookup(2).has_value());
+    EXPECT_TRUE(btb.lookup(3).has_value());
+}
+
+TEST(Btb, Geometry)
+{
+    Btb btb(256, 4);
+    EXPECT_EQ(btb.numEntries(), 256u);
+    EXPECT_EQ(btb.numWays(), 4u);
+    EXPECT_EQ(btb.numSets(), 64u);
+}
+
+TEST(BtbDeath, RejectsBadGeometry)
+{
+    EXPECT_DEATH(Btb(0, 1), "bad geometry");
+    EXPECT_DEATH(Btb(12, 4), "power of two");
+}
+
+// ---- Return stack -------------------------------------------------------------
+
+TEST(ReturnStack, LifoOrder)
+{
+    ReturnStack ras(8);
+    ras.push(10);
+    ras.push(20);
+    ras.push(30);
+    EXPECT_EQ(ras.pop(), 30u);
+    EXPECT_EQ(ras.pop(), 20u);
+    EXPECT_EQ(ras.pop(), 10u);
+}
+
+TEST(ReturnStack, UnderflowReturnsNoAddr)
+{
+    ReturnStack ras(4);
+    EXPECT_EQ(ras.pop(), kNoAddr);
+    ras.push(1);
+    EXPECT_EQ(ras.pop(), 1u);
+    EXPECT_EQ(ras.pop(), kNoAddr);
+}
+
+TEST(ReturnStack, WrapsAndOverwritesOldest)
+{
+    ReturnStack ras(4);
+    for (Addr a = 1; a <= 6; ++a)
+        ras.push(a);
+    // Capacity 4: entries 3,4,5,6 survive.
+    EXPECT_EQ(ras.depth(), 4u);
+    EXPECT_EQ(ras.pop(), 6u);
+    EXPECT_EQ(ras.pop(), 5u);
+    EXPECT_EQ(ras.pop(), 4u);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), kNoAddr);
+}
+
+TEST(ReturnStack, DeepRecursionPattern)
+{
+    // Push/pop balance across a simulated deep call chain within capacity.
+    ReturnStack ras(32);
+    for (Addr a = 0; a < 32; ++a)
+        ras.push(a * 4);
+    for (Addr a = 32; a-- > 0;)
+        EXPECT_EQ(ras.pop(), a * 4);
+}

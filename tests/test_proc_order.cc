@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for procedure positioning (the Pettis–Hansen extension) and
+ * ordered program materialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/builder.h"
+#include "layout/proc_order.h"
+#include "trace/profiler.h"
+#include "trace/walker.h"
+#include "workload/generator.h"
+#include "workload/suite.h"
+
+using namespace balign;
+
+namespace {
+
+Program
+threeProcs()
+{
+    Program program("three");
+    for (int i = 0; i < 3; ++i) {
+        Procedure &proc =
+            program.proc(program.addProc("p" + std::to_string(i)));
+        CfgBuilder b(proc);
+        b.block(4 + i, Terminator::Return);
+    }
+    return program;
+}
+
+std::vector<std::vector<BlockId>>
+identityOrders(const Program &program)
+{
+    std::vector<std::vector<BlockId>> orders;
+    for (const auto &proc : program.procs()) {
+        std::vector<BlockId> order(proc.numBlocks());
+        for (BlockId b = 0; b < proc.numBlocks(); ++b)
+            order[b] = b;
+        orders.push_back(order);
+    }
+    return orders;
+}
+
+}  // namespace
+
+TEST(ProcOrder, MainGroupComesFirst)
+{
+    const Program program = threeProcs();
+    CallGraph calls;
+    calls[{1, 2}] = 1000;  // hottest pair excludes main
+    const auto order = orderProcsByCallGraph(program, calls);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order.front(), program.mainProc());
+}
+
+TEST(ProcOrder, HotPairsPlacedAdjacent)
+{
+    const Program program = threeProcs();
+    CallGraph calls;
+    calls[{0, 2}] = 1000;
+    calls[{0, 1}] = 10;
+    const auto order = orderProcsByCallGraph(program, calls);
+    // 0 and 2 merge first; the orientation search then reverses the pair
+    // so that 0 and 1 can also sit adjacent: [2, 0, 1] keeps BOTH call
+    // pairs at distance one.
+    const auto pos = [&](ProcId p) {
+        for (std::size_t i = 0; i < order.size(); ++i)
+            if (order[i] == p)
+                return i;
+        return order.size();
+    };
+    EXPECT_EQ(pos(2) + 1, pos(0));
+    EXPECT_EQ(pos(0) + 1, pos(1));
+}
+
+TEST(ProcOrder, PermutationForRealCallGraph)
+{
+    ProgramSpec spec = suiteSpec("li");
+    spec.traceInstrs = 100'000;
+    Program program = generateProgram(spec);
+    Profiler profiler(program);
+    WalkOptions options;
+    options.seed = traceSeed(spec);
+    options.instrBudget = spec.traceInstrs;
+    walk(program, options, profiler);
+
+    const auto order =
+        orderProcsByCallGraph(program, profiler.callCounts());
+    ASSERT_EQ(order.size(), program.numProcs());
+    std::vector<bool> seen(program.numProcs(), false);
+    for (ProcId p : order) {
+        ASSERT_LT(p, program.numProcs());
+        EXPECT_FALSE(seen[p]);
+        seen[p] = true;
+    }
+}
+
+TEST(ProcOrder, EmptyCallGraphKeepsAllProcs)
+{
+    const Program program = threeProcs();
+    const auto order = orderProcsByCallGraph(program, CallGraph{});
+    EXPECT_EQ(order.size(), 3u);
+    EXPECT_EQ(order.front(), 0u);
+}
+
+TEST(ProcOrder, OrderedMaterializationMovesBases)
+{
+    const Program program = threeProcs();  // sizes 4, 5, 6
+    const auto orders = identityOrders(program);
+    const std::vector<ProcId> proc_order{2, 0, 1};
+    const ProgramLayout layout = materializeProgramOrdered(
+        program, orders, proc_order, MaterializeOptions{});
+    EXPECT_EQ(layout.procs[2].base, 0u);
+    EXPECT_EQ(layout.procs[0].base, 6u);
+    EXPECT_EQ(layout.procs[1].base, 10u);
+    EXPECT_EQ(layout.totalInstrs, 15u);
+    EXPECT_EQ(layout.procEntryAddr(0), 6u);
+}
+
+TEST(ProcOrderDeath, RejectsBadOrder)
+{
+    const Program program = threeProcs();
+    const auto orders = identityOrders(program);
+    EXPECT_DEATH(materializeProgramOrdered(program, orders, {0, 0, 1},
+                                           MaterializeOptions{}),
+                 "bad procedure order");
+    EXPECT_DEATH(materializeProgramOrdered(program, orders, {0, 1},
+                                           MaterializeOptions{}),
+                 "size mismatch");
+}
+
+TEST(ProcOrder, IdOrderEquivalentToPlainMaterialization)
+{
+    ProgramSpec spec = suiteSpec("compress");
+    spec.traceInstrs = 50'000;
+    const Program program = generateProgram(spec);
+    const auto orders = identityOrders(program);
+    std::vector<ProcId> id_order(program.numProcs());
+    for (ProcId p = 0; p < program.numProcs(); ++p)
+        id_order[p] = p;
+
+    const ProgramLayout plain =
+        materializeProgram(program, orders, MaterializeOptions{});
+    const ProgramLayout ordered = materializeProgramOrdered(
+        program, orders, id_order, MaterializeOptions{});
+    ASSERT_EQ(plain.totalInstrs, ordered.totalInstrs);
+    for (ProcId p = 0; p < program.numProcs(); ++p) {
+        EXPECT_EQ(plain.procs[p].base, ordered.procs[p].base);
+        EXPECT_EQ(plain.procs[p].order, ordered.procs[p].order);
+    }
+}

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic PRNG (support/rng.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "support/rng.h"
+
+using namespace balign;
+
+TEST(SplitMix64, DeterministicForSeed)
+{
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer)
+{
+    SplitMix64 a(1), b(2);
+    // Overwhelmingly unlikely to collide on the first draw.
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(7), b(8);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.nextU64() == b.nextU64();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(13);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull,
+                                (1ull << 40) + 17}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedOneAlwaysZero)
+{
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, BoundedCoversAllResidues)
+{
+    Rng rng(17);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.nextDouble();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, BoolEdgeProbabilities)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+        EXPECT_FALSE(rng.nextBool(-0.5));
+        EXPECT_TRUE(rng.nextBool(1.5));
+    }
+}
+
+TEST(Rng, BoolFrequencyTracksProbability)
+{
+    Rng rng(23);
+    int heads = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(29);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t x = rng.nextRange(-3, 3);
+        EXPECT_GE(x, -3);
+        EXPECT_LE(x, 3);
+        seen.insert(x);
+    }
+    EXPECT_EQ(seen.size(), 7u);  // all values reachable
+}
+
+TEST(Rng, RangeSingleton)
+{
+    Rng rng(31);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(rng.nextRange(5, 5), 5);
+}
+
+TEST(Rng, GeometricEdgeCases)
+{
+    Rng rng(37);
+    EXPECT_EQ(rng.nextGeometric(1.0, 100), 0u);
+    EXPECT_EQ(rng.nextGeometric(0.0, 100), 100u);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_LE(rng.nextGeometric(0.01, 10), 10u);
+}
+
+TEST(Rng, GeometricMeanApproximatelyCorrect)
+{
+    Rng rng(41);
+    const double p = 0.25;
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(p, 1000));
+    // E[failures before success] = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, WeightedRespectsWeights)
+{
+    Rng rng(43);
+    const double weights[] = {1.0, 0.0, 3.0};
+    std::map<std::size_t, int> counts;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextWeighted(weights, 3)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedAllZeroReturnsLast)
+{
+    Rng rng(47);
+    const double weights[] = {0.0, 0.0, 0.0};
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(rng.nextWeighted(weights, 3), 2u);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(53);
+    Rng b = a.split();
+    // The two streams should not track each other.
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.nextU64() == b.nextU64();
+    EXPECT_LT(equal, 3);
+}
+
+/// Parameterized sweep: Lemire rejection stays unbiased-ish for awkward
+/// bounds (coarse chi-square-style check).
+class RngBoundedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngBoundedSweep, RoughlyUniform)
+{
+    const std::uint64_t bound = GetParam();
+    Rng rng(61 + bound);
+    std::vector<int> counts(bound, 0);
+    const int per_bucket = 2000;
+    const int n = static_cast<int>(bound) * per_bucket;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBounded(bound)];
+    for (std::uint64_t v = 0; v < bound; ++v) {
+        EXPECT_NEAR(static_cast<double>(counts[v]), per_bucket,
+                    per_bucket * 0.15)
+            << "bucket " << v << " of bound " << bound;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundedSweep,
+                         ::testing::Values(2, 3, 5, 7, 12, 33));

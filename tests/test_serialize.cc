@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for program serialization: round trips over hand-built and
+ * generated programs, and error reporting for malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cfg/serialize.h"
+#include "workload/generator.h"
+#include "workload/paper_figures.h"
+#include "workload/suite.h"
+
+using namespace balign;
+
+namespace {
+
+/// Structural + profile equality.
+void
+expectEqualPrograms(const Program &a, const Program &b)
+{
+    ASSERT_EQ(a.numProcs(), b.numProcs());
+    EXPECT_EQ(a.name(), b.name());
+    EXPECT_EQ(a.mainProc(), b.mainProc());
+    for (ProcId p = 0; p < a.numProcs(); ++p) {
+        const Procedure &pa = a.proc(p);
+        const Procedure &pb = b.proc(p);
+        EXPECT_EQ(pa.name(), pb.name());
+        EXPECT_EQ(pa.entry(), pb.entry());
+        ASSERT_EQ(pa.numBlocks(), pb.numBlocks());
+        ASSERT_EQ(pa.numEdges(), pb.numEdges());
+        for (BlockId blk = 0; blk < pa.numBlocks(); ++blk) {
+            const BasicBlock &ba = pa.block(blk);
+            const BasicBlock &bb = pb.block(blk);
+            EXPECT_EQ(ba.numInstrs, bb.numInstrs);
+            EXPECT_EQ(ba.term, bb.term);
+            EXPECT_EQ(ba.patternLength, bb.patternLength);
+            EXPECT_EQ(ba.patternMask, bb.patternMask);
+            EXPECT_EQ(ba.correlatedWith, bb.correlatedWith);
+            EXPECT_EQ(ba.correlatedInvert, bb.correlatedInvert);
+            ASSERT_EQ(ba.calls.size(), bb.calls.size());
+            for (std::size_t c = 0; c < ba.calls.size(); ++c) {
+                EXPECT_EQ(ba.calls[c].callee, bb.calls[c].callee);
+                EXPECT_EQ(ba.calls[c].offset, bb.calls[c].offset);
+            }
+        }
+        for (std::size_t e = 0; e < pa.numEdges(); ++e) {
+            const Edge &ea = pa.edge(e);
+            const Edge &eb = pb.edge(e);
+            EXPECT_EQ(ea.src, eb.src);
+            EXPECT_EQ(ea.dst, eb.dst);
+            EXPECT_EQ(ea.kind, eb.kind);
+            EXPECT_EQ(ea.weight, eb.weight);
+            EXPECT_NEAR(ea.bias, eb.bias, 1e-9);
+        }
+    }
+}
+
+}  // namespace
+
+TEST(Serialize, RoundTripFigure3)
+{
+    const Program original = figure3Loop();
+    const ParseResult parsed =
+        programFromString(programToString(original));
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    expectEqualPrograms(original, *parsed.program);
+}
+
+TEST(Serialize, RoundTripFigure1WithWeights)
+{
+    const Program original = figure1Espresso();
+    const ParseResult parsed =
+        programFromString(programToString(original));
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    expectEqualPrograms(original, *parsed.program);
+}
+
+TEST(Serialize, RoundTripGeneratedSuitePrograms)
+{
+    for (const char *name : {"compress", "alvinn", "idl"}) {
+        const Program original = generateProgram(suiteSpec(name));
+        const ParseResult parsed =
+            programFromString(programToString(original));
+        ASSERT_TRUE(parsed.ok()) << name << ": " << parsed.error;
+        expectEqualPrograms(original, *parsed.program);
+    }
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored)
+{
+    const std::string text = R"(# a comment
+balign-program v1
+program tiny
+
+main 0
+proc 0 main entry 0   # trailing comment
+block 0 3 return
+endproc
+)";
+    const ParseResult parsed = programFromString(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_EQ(parsed.program->name(), "tiny");
+    EXPECT_EQ(parsed.program->proc(0).block(0).numInstrs, 3u);
+}
+
+TEST(Serialize, MissingHeaderRejected)
+{
+    const ParseResult parsed = programFromString("program x\n");
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error.find("header"), std::string::npos);
+    EXPECT_EQ(parsed.errorLine, 1u);
+}
+
+TEST(Serialize, UnknownKeywordRejectedWithLineNumber)
+{
+    const std::string text = "balign-program v1\nprogram x\nbogus 1\n";
+    const ParseResult parsed = programFromString(text);
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_EQ(parsed.errorLine, 3u);
+}
+
+TEST(Serialize, NonDenseBlockIdsRejected)
+{
+    const std::string text = R"(balign-program v1
+program x
+main 0
+proc 0 main entry 0
+block 1 3 return
+endproc
+)";
+    const ParseResult parsed = programFromString(text);
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error.find("dense"), std::string::npos);
+}
+
+TEST(Serialize, EdgeToUnknownBlockRejected)
+{
+    const std::string text = R"(balign-program v1
+program x
+main 0
+proc 0 main entry 0
+block 0 3 uncond
+edge 0 7 taken 0 1.0
+endproc
+)";
+    const ParseResult parsed = programFromString(text);
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error.find("unknown block"), std::string::npos);
+}
+
+TEST(Serialize, StructurallyInvalidProgramRejected)
+{
+    // A conditional block with only one out-edge fails validation.
+    const std::string text = R"(balign-program v1
+program x
+main 0
+proc 0 main entry 0
+block 0 3 cond
+block 1 1 return
+edge 0 1 taken 0 1.0
+endproc
+)";
+    const ParseResult parsed = programFromString(text);
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error.find("validation"), std::string::npos);
+}
+
+TEST(Serialize, MissingEndprocRejected)
+{
+    const std::string text = R"(balign-program v1
+program x
+main 0
+proc 0 main entry 0
+block 0 3 return
+)";
+    const ParseResult parsed = programFromString(text);
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error.find("endproc"), std::string::npos);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    const Program original = figure2Alvinn();
+    const std::string path = "/tmp/balign_serialize_test.prog";
+    saveProgram(original, path);
+    const ParseResult parsed = loadProgram(path);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    expectEqualPrograms(original, *parsed.program);
+}
+
+TEST(Serialize, LoadMissingFileReportsError)
+{
+    const ParseResult parsed = loadProgram("/nonexistent/path/prog");
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error.find("cannot open"), std::string::npos);
+}

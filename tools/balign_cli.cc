@@ -1,0 +1,359 @@
+/**
+ * @file
+ * balign — command line driver for the branch alignment library.
+ *
+ * Subcommands:
+ *
+ *   balign generate <suite-name> [-o FILE] [--instrs N]
+ *       Generate a suite program model (unprofiled CFG).
+ *
+ *   balign profile <FILE> [-o FILE] [--instrs N] [--seed S]
+ *       Walk the program and record edge weights into the CFG.
+ *
+ *   balign stats <FILE> [--instrs N] [--seed S]
+ *       Print Table-2 style attributes for the program.
+ *
+ *   balign align <FILE> --arch ARCH --algo ALGO [--group N]
+ *       Report the layout an aligner would produce: per-procedure block
+ *       orders and transformation counts.
+ *
+ *   balign evaluate <FILE> --arch ARCH [--instrs N] [--seed S]
+ *       Evaluate Original/Greedy/Cost/Try15 on one architecture.
+ *
+ *   balign unroll <FILE> [-o FILE] [--factor K] [--min-weight W]
+ *       Unroll hot single-block loops by duplication.
+ *
+ *   balign dot <FILE> [--proc N]
+ *       Emit a Graphviz rendering of one procedure.
+ *
+ * Architectures: fallthrough btfnt likely pht gshare btb-small btb-large.
+ * Algorithms: greedy cost try15.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cfg/dot.h"
+#include "cfg/serialize.h"
+#include "core/align_program.h"
+#include "core/unroll.h"
+#include "layout/materialize.h"
+#include "sim/cpi.h"
+#include "support/log.h"
+#include "support/table.h"
+#include "trace/profiler.h"
+#include "trace/walker.h"
+#include "workload/generator.h"
+#include "workload/suite.h"
+
+using namespace balign;
+
+namespace {
+
+struct Args
+{
+    std::vector<std::string> positional;
+    std::string output;
+    std::string arch = "btfnt";
+    std::string algo = "try15";
+    std::uint64_t instrs = 2'000'000;
+    std::uint64_t seed = 1;
+    unsigned factor = 4;
+    Weight minWeight = 1000;
+    std::size_t groupSize = 15;
+    ProcId procId = 0;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "-o" || arg == "--output")
+            args.output = next();
+        else if (arg == "--arch")
+            args.arch = next();
+        else if (arg == "--algo")
+            args.algo = next();
+        else if (arg == "--instrs")
+            args.instrs = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--seed")
+            args.seed = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--factor")
+            args.factor =
+                static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--min-weight")
+            args.minWeight = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--group")
+            args.groupSize = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--proc")
+            args.procId =
+                static_cast<ProcId>(std::strtoul(next().c_str(), nullptr, 10));
+        else if (!arg.empty() && arg[0] == '-')
+            fatal("unknown option '%s'", arg.c_str());
+        else
+            args.positional.push_back(arg);
+    }
+    return args;
+}
+
+Arch
+parseArch(const std::string &name)
+{
+    if (name == "fallthrough")
+        return Arch::Fallthrough;
+    if (name == "btfnt")
+        return Arch::BtFnt;
+    if (name == "likely")
+        return Arch::Likely;
+    if (name == "pht")
+        return Arch::PhtDirect;
+    if (name == "gshare")
+        return Arch::PhtCorrelated;
+    if (name == "btb-small")
+        return Arch::BtbSmall;
+    if (name == "btb-large" || name == "btb")
+        return Arch::BtbLarge;
+    fatal("unknown architecture '%s'", name.c_str());
+}
+
+AlignerKind
+parseAlgo(const std::string &name)
+{
+    if (name == "greedy")
+        return AlignerKind::Greedy;
+    if (name == "cost")
+        return AlignerKind::Cost;
+    if (name == "try15" || name == "tryn")
+        return AlignerKind::Try15;
+    if (name == "original")
+        return AlignerKind::Original;
+    fatal("unknown algorithm '%s'", name.c_str());
+}
+
+Program
+loadOrDie(const std::string &path)
+{
+    ParseResult parsed = loadProgram(path);
+    if (!parsed.ok()) {
+        fatal("%s:%zu: %s", path.c_str(), parsed.errorLine,
+              parsed.error.c_str());
+    }
+    return std::move(*parsed.program);
+}
+
+void
+emit(const Program &program, const std::string &output)
+{
+    if (output.empty())
+        writeProgram(program, std::cout);
+    else
+        saveProgram(program, output);
+}
+
+int
+cmdGenerate(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("generate: need a suite program name");
+    ProgramSpec spec = suiteSpec(args.positional[0]);
+    spec.traceInstrs = args.instrs;
+    emit(generateProgram(spec), args.output);
+    return 0;
+}
+
+int
+cmdProfile(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("profile: need an input file");
+    Program program = loadOrDie(args.positional[0]);
+    program.clearWeights();
+    Profiler profiler(program);
+    WalkOptions options;
+    options.seed = args.seed;
+    options.instrBudget = args.instrs;
+    walk(program, options, profiler);
+    emit(program, args.output);
+    return 0;
+}
+
+int
+cmdStats(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("stats: need an input file");
+    Program program = loadOrDie(args.positional[0]);
+    program.clearWeights();
+    Profiler profiler(program);
+    WalkOptions options;
+    options.seed = args.seed;
+    options.instrBudget = args.instrs;
+    walk(program, options, profiler);
+    const ProgramStats s = profiler.stats();
+
+    std::printf("program: %s\n", program.name().c_str());
+    std::printf("instructions traced: %s\n",
+                withCommas(s.instrsTraced).c_str());
+    std::printf("breaks: %.1f%% of instructions\n", s.pctBreaks());
+    std::printf("conditional sites: %zu static; Q-50/90/99/100 = "
+                "%zu/%zu/%zu/%zu\n",
+                s.staticCondSites, s.q50, s.q90, s.q99, s.q100);
+    std::printf("taken: %.1f%% of executed conditionals\n", s.pctTaken());
+    std::printf("break mix: %.1f%% cond, %.1f%% indirect, %.1f%% uncond, "
+                "%.1f%% call, %.1f%% return\n",
+                s.pctCondOfBreaks(), s.pctIndirectOfBreaks(),
+                s.pctUncondOfBreaks(), s.pctCallOfBreaks(),
+                s.pctReturnOfBreaks());
+    return 0;
+}
+
+int
+cmdAlign(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("align: need an input file");
+    const Program program = loadOrDie(args.positional[0]);
+    const Arch arch = parseArch(args.arch);
+    const AlignerKind kind = parseAlgo(args.algo);
+    const CostModel model(arch);
+    AlignOptions options;
+    options.groupSize = args.groupSize;
+    const ProgramLayout layout =
+        alignProgram(program, kind, &model, options);
+
+    std::printf("# %s alignment for %s\n", alignerKindName(kind),
+                archName(arch));
+    for (ProcId p = 0; p < program.numProcs(); ++p) {
+        const ProcLayout &pl = layout.procs[p];
+        std::printf("proc %u %s: +%u jumps, -%u jumps, %u inverted\n", p,
+                    program.proc(p).name().c_str(), pl.jumpsInserted,
+                    pl.jumpsRemoved, pl.sensesInverted);
+        std::printf("  order:");
+        for (BlockId id : pl.order)
+            std::printf(" %u", id);
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
+cmdEvaluate(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("evaluate: need an input file");
+    Program program = loadOrDie(args.positional[0]);
+    const Arch arch = parseArch(args.arch);
+
+    WalkOptions walk_options;
+    walk_options.seed = args.seed;
+    walk_options.instrBudget = args.instrs;
+    const PreparedProgram prepared =
+        prepareProgram(std::move(program), walk_options);
+
+    const std::vector<ExperimentConfig> configs = {
+        {arch, AlignerKind::Original},
+        {arch, AlignerKind::Greedy},
+        {arch, AlignerKind::Cost},
+        {arch, AlignerKind::Try15},
+    };
+    const ExperimentRun run = runConfigs(prepared, configs);
+
+    Table table({"layout", "rel CPI", "BEP", "fall-through %",
+                 "mispredicts", "misfetches"});
+    for (const auto &cell : run.cells) {
+        table.row()
+            .cell(alignerKindName(cell.config.kind))
+            .cell(cell.relCpi, 3)
+            .cell(cell.eval.bep(), 0)
+            .cell(cell.eval.pctFallThrough(), 1)
+            .cell(cell.eval.mispredicts, true)
+            .cell(cell.eval.misfetches, true);
+    }
+    std::printf("%s on %s, %s instructions\n\n",
+                prepared.program.name().c_str(), archName(arch),
+                withCommas(run.origInstrs).c_str());
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdUnroll(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("unroll: need an input file");
+    Program program = loadOrDie(args.positional[0]);
+    UnrollOptions options;
+    options.factor = args.factor;
+    options.minWeight = args.minWeight;
+    const unsigned loops = unrollSelfLoops(program, options);
+    inform("unrolled %u loops (factor %u)", loops, args.factor);
+    emit(program, args.output);
+    return 0;
+}
+
+int
+cmdDot(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("dot: need an input file");
+    const Program program = loadOrDie(args.positional[0]);
+    if (args.procId >= program.numProcs())
+        fatal("procedure %u out of range", args.procId);
+    writeDot(program.proc(args.procId), std::cout);
+    return 0;
+}
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: balign <command> [options]\n"
+        "commands:\n"
+        "  generate <suite-name> [-o FILE]            create a program model\n"
+        "  profile <FILE> [-o FILE] [--instrs N]      record edge profile\n"
+        "  stats <FILE>                               Table-2 attributes\n"
+        "  align <FILE> --arch A --algo G             show the layout\n"
+        "  evaluate <FILE> --arch A                   compare aligners\n"
+        "  unroll <FILE> [--factor K] [-o FILE]       duplicate hot loops\n"
+        "  dot <FILE> [--proc N]                      Graphviz output\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    const std::string command = argv[1];
+    const Args args = parseArgs(argc, argv);
+    if (command == "generate")
+        return cmdGenerate(args);
+    if (command == "profile")
+        return cmdProfile(args);
+    if (command == "stats")
+        return cmdStats(args);
+    if (command == "align")
+        return cmdAlign(args);
+    if (command == "evaluate")
+        return cmdEvaluate(args);
+    if (command == "unroll")
+        return cmdUnroll(args);
+    if (command == "dot")
+        return cmdDot(args);
+    usage();
+    return 2;
+}

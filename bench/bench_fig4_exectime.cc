@@ -13,7 +13,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "sim/exec_time.h"
+#include "sim/runner.h"
 #include "support/log.h"
 #include "support/table.h"
 
@@ -27,10 +27,17 @@ main()
                  "Try15 speedup%", "Orig mispred", "Try15 mispred",
                  "Orig I$ miss", "Try15 I$ miss", "Orig misfetch", "Try15 misfetch"});
 
-    for (const auto &spec : bench::tunedSuite(figure4Suite())) {
-        const ExecTimeResult r = runExecTime(spec);
+    const bench::WallClock wall;
+    PhaseTimes times;
+    RunnerOptions runner;
+    runner.times = &times;
+    const std::vector<ProgramSpec> suite = bench::tunedSuite(figure4Suite());
+    const std::vector<ExecTimeResult> results =
+        runExecTimeSuite(suite, {}, runner);
+
+    for (const ExecTimeResult &r : results) {
         table.row()
-            .cell(spec.name)
+            .cell(r.name)
             .cell(1.0, 3)
             .cell(r.greedyRelative, 3)
             .cell(r.try15Relative, 3)
@@ -46,5 +53,8 @@ main()
     std::cout << "Figure 4: relative total execution time on the dual-issue "
                  "Alpha 21064 model\n(original = 1.0; lower is better)\n\n";
     table.print(std::cout);
+    std::cerr << bench::timingJson("fig4_exectime", defaultThreads(),
+                                   suite.size(), wall.seconds(), times)
+              << "\n";
     return 0;
 }

@@ -5,6 +5,12 @@
  * the small one more. This harness extends that observation into curves:
  * BTB size and PHT size versus the benefit of Try15 alignment, averaged
  * over the SPECint92 models.
+ *
+ * Execution: programs run in parallel on the experiment runner's thread
+ * pool, and within each program every (structure size, layout) point is an
+ * independent replay of the recorded trace. Per-program results are
+ * reduced in program order afterwards, so the printed averages are
+ * identical for any BALIGN_THREADS.
  */
 
 #include <iostream>
@@ -12,9 +18,10 @@
 
 #include "bench_util.h"
 #include "layout/materialize.h"
-#include "sim/cpi.h"
+#include "sim/runner.h"
 #include "support/log.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 
 using namespace balign;
 
@@ -35,6 +42,7 @@ main()
     setVerbose(false);
     const char *names[] = {"compress", "eqntott", "espresso", "gcc", "li",
                            "sc"};
+    const std::size_t num_programs = std::size(names);
 
     // ---- BTB size sweep (ways fixed at 4, except the tiny points). ----
     struct BtbConfig
@@ -50,15 +58,30 @@ main()
     const std::size_t pht_sizes[] = {256, 1024, 4096, 16384};
     std::vector<SweepPoint> pht_points(std::size(pht_sizes));
 
-    for (const char *name : names) {
-        ProgramSpec spec = suiteSpec(name);
+    const bench::WallClock wall;
+    PhaseTimes times;
+    ThreadPool pool(defaultThreads());
+
+    // Per-program relative CPIs, written to slot [program][point] so the
+    // serial reduction below is schedule-independent.
+    const std::size_t points_per_program =
+        2 * (std::size(btb_configs) + std::size(pht_sizes));
+    std::vector<std::vector<double>> rel_cpis(
+        num_programs, std::vector<double>(points_per_program, 0.0));
+
+    pool.parallelFor(num_programs, [&](std::size_t prog_index) {
+        ProgramSpec spec = suiteSpec(names[prog_index]);
         spec.traceInstrs = 1'000'000;
         if (const char *env = std::getenv("BALIGN_TRACE_INSTRS")) {
             const auto v = std::strtoull(env, nullptr, 10);
             if (v > 0)
                 spec.traceInstrs = v;
         }
-        const PreparedProgram prepared = prepareProgram(spec);
+        PreparedProgram prepared;
+        {
+            ScopedPhaseTimer timer(&times, "prepare");
+            prepared = prepareProgram(spec);
+        }
 
         // Layouts: original and Try15 for each architecture family. The
         // alignment itself uses the default-size cost model, as a real
@@ -66,49 +89,65 @@ main()
         // the compiler.
         const CostModel btb_model(Arch::BtbLarge);
         const CostModel pht_model(Arch::PhtDirect);
-        const ProgramLayout orig = originalLayout(prepared.program);
-        const ProgramLayout btb_aligned = alignProgram(
-            prepared.program, AlignerKind::Try15, &btb_model);
-        const ProgramLayout pht_aligned = alignProgram(
-            prepared.program, AlignerKind::Try15, &pht_model);
+        ProgramLayout orig, btb_aligned, pht_aligned;
+        {
+            ScopedPhaseTimer timer(&times, "align");
+            orig = originalLayout(prepared.program);
+            btb_aligned = alignProgram(prepared.program, AlignerKind::Try15,
+                                       &btb_model);
+            pht_aligned = alignProgram(prepared.program, AlignerKind::Try15,
+                                       &pht_model);
+        }
 
-        std::vector<std::unique_ptr<ArchEvaluator>> evaluators;
-        MultiSink fanout;
-        auto add_eval = [&](const ProgramLayout &layout,
-                            const EvalParams &params) {
-            evaluators.push_back(std::make_unique<ArchEvaluator>(
-                prepared.program, layout, params));
-            fanout.add(&evaluators.back()->sink());
-        };
+        // Evaluation points: (params, layout) pairs in a fixed order.
+        std::vector<std::pair<EvalParams, const ProgramLayout *>> points;
         for (const auto &config : btb_configs) {
             EvalParams params = EvalParams::forArch(Arch::BtbLarge);
             params.btbEntries = config.entries;
             params.btbWays = config.ways;
-            add_eval(orig, params);
-            add_eval(btb_aligned, params);
+            points.emplace_back(params, &orig);
+            points.emplace_back(params, &btb_aligned);
         }
         for (std::size_t size : pht_sizes) {
             EvalParams params = EvalParams::forArch(Arch::PhtDirect);
             params.phtEntries = size;
-            add_eval(orig, params);
-            add_eval(pht_aligned, params);
+            points.emplace_back(params, &orig);
+            points.emplace_back(params, &pht_aligned);
         }
-        walk(prepared.program, prepared.walk, fanout);
 
-        const std::uint64_t base = evaluators[0]->result().instrs;
+        // The relative-CPI anchor: the original layout's instruction
+        // count, identical at every point, so evaluate it once up front.
+        ArchEvaluator base_eval(prepared.program, orig, points[0].first);
+        {
+            ScopedPhaseTimer timer(&times, "replay");
+            prepared.trace->replay(prepared.program, base_eval.sink());
+        }
+        const std::uint64_t base = base_eval.result().instrs;
+
+        // Each point replays the recorded trace independently; nested
+        // parallelFor shares the same pool.
+        std::vector<double> &out = rel_cpis[prog_index];
+        pool.parallelFor(points.size(), [&](std::size_t p) {
+            ScopedPhaseTimer timer(&times, "replay");
+            ArchEvaluator eval(prepared.program, *points[p].second,
+                               points[p].first);
+            prepared.trace->replay(prepared.program, eval.sink());
+            out[p] = eval.result().relativeCpi(base);
+        });
+    });
+
+    // Order-stable reduction: programs in name order, points in sweep order.
+    for (std::size_t prog_index = 0; prog_index < num_programs;
+         ++prog_index) {
         std::size_t index = 0;
         for (std::size_t c = 0; c < std::size(btb_configs); ++c) {
-            btb_points[c].orig +=
-                evaluators[index++]->result().relativeCpi(base);
-            btb_points[c].aligned +=
-                evaluators[index++]->result().relativeCpi(base);
+            btb_points[c].orig += rel_cpis[prog_index][index++];
+            btb_points[c].aligned += rel_cpis[prog_index][index++];
             ++btb_points[c].programs;
         }
         for (std::size_t c = 0; c < std::size(pht_sizes); ++c) {
-            pht_points[c].orig +=
-                evaluators[index++]->result().relativeCpi(base);
-            pht_points[c].aligned +=
-                evaluators[index++]->result().relativeCpi(base);
+            pht_points[c].orig += rel_cpis[prog_index][index++];
+            pht_points[c].aligned += rel_cpis[prog_index][index++];
             ++pht_points[c].programs;
         }
     }
@@ -144,5 +183,8 @@ main()
     pht_table.print(std::cout);
     std::cout << "\n(the smaller the structure, the more alignment helps "
                  "— the paper's small-vs-large BTB point, as a curve)\n";
+    std::cerr << bench::timingJson("sweep_hardware", defaultThreads(),
+                                   num_programs, wall.seconds(), times)
+              << "\n";
     return 0;
 }

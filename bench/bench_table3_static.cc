@@ -17,7 +17,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "sim/cpi.h"
+#include "sim/runner.h"
 #include "support/log.h"
 #include "support/table.h"
 
@@ -49,15 +49,23 @@ main()
         table.separator();
     };
 
+    const bench::WallClock wall;
+    PhaseTimes times;
+    RunnerOptions runner;
+    runner.times = &times;
+    const std::vector<ProgramSpec> suite =
+        bench::tunedSuite(benchmarkSuite());
+    const std::vector<ExperimentRun> runs =
+        runSuite(suite, configs, runner);
+
     std::string group;
-    for (const auto &spec : bench::tunedSuite(benchmarkSuite())) {
-        if (spec.group != group) {
+    for (const ExperimentRun &run : runs) {
+        if (run.group != group) {
             if (!group.empty())
                 flush_group(group);
-            group = spec.group;
+            group = run.group;
             avg.reset(12);
         }
-        const ExperimentRun run = runExperiment(spec, configs);
         std::vector<double> values;
         for (Arch arch : archs) {
             values.push_back(run.cell(arch, AlignerKind::Original).relCpi);
@@ -68,7 +76,7 @@ main()
             values.push_back(
                 run.cell(arch, AlignerKind::Try15).eval.pctFallThrough());
         }
-        Table &row = table.row().cell(spec.name);
+        Table &row = table.row().cell(run.name);
         for (std::size_t i = 0; i < 9; ++i)
             row.cell(values[i], 3);
         for (std::size_t i = 9; i < 12; ++i)
@@ -83,5 +91,8 @@ main()
               << " %fall = executed conditional branches falling through "
                  "after Try15 alignment)\n\n";
     table.print(std::cout);
+    std::cerr << bench::timingJson("table3_static", defaultThreads(),
+                                   suite.size(), wall.seconds(), times)
+              << "\n";
     return 0;
 }

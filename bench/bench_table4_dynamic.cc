@@ -15,7 +15,7 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "sim/cpi.h"
+#include "sim/runner.h"
 #include "support/log.h"
 #include "support/table.h"
 
@@ -49,22 +49,30 @@ main()
         table.separator();
     };
 
+    const bench::WallClock wall;
+    PhaseTimes times;
+    RunnerOptions runner;
+    runner.times = &times;
+    const std::vector<ProgramSpec> suite =
+        bench::tunedSuite(benchmarkSuite());
+    const std::vector<ExperimentRun> runs =
+        runSuite(suite, configs, runner);
+
     std::string group;
-    for (const auto &spec : bench::tunedSuite(benchmarkSuite())) {
-        if (spec.group != group) {
+    for (const ExperimentRun &run : runs) {
+        if (run.group != group) {
             if (!group.empty())
                 flush_group(group);
-            group = spec.group;
+            group = run.group;
             avg.reset(12);
         }
-        const ExperimentRun run = runExperiment(spec, configs);
         std::vector<double> values;
         for (Arch arch : archs) {
             values.push_back(run.cell(arch, AlignerKind::Original).relCpi);
             values.push_back(run.cell(arch, AlignerKind::Greedy).relCpi);
             values.push_back(run.cell(arch, AlignerKind::Try15).relCpi);
         }
-        Table &row = table.row().cell(spec.name);
+        Table &row = table.row().cell(run.name);
         for (double v : values)
             row.cell(v, 3);
         avg.add(values);
@@ -77,5 +85,10 @@ main()
                  "correlation/gshare,\n"
               << " BTB64 = 64-entry 2-way, BTB256 = 256-entry 4-way)\n\n";
     table.print(std::cout);
+    // Timing on stderr so the table on stdout stays byte-identical across
+    // thread counts (serial/parallel diffing and golden comparisons).
+    std::cerr << bench::timingJson("table4_dynamic", defaultThreads(),
+                                   suite.size(), wall.seconds(), times)
+              << "\n";
     return 0;
 }

@@ -10,17 +10,22 @@
 #ifndef BALIGN_BENCH_BENCH_UTIL_H
 #define BALIGN_BENCH_BENCH_UTIL_H
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "support/log.h"
+#include "support/stats.h"
 #include "workload/spec.h"
 #include "workload/suite.h"
 
 namespace balign::bench {
 
-/// Applies BALIGN_TRACE_INSTRS / BALIGN_PROGRAMS to the suite.
+/// Applies BALIGN_TRACE_INSTRS / BALIGN_PROGRAMS to the suite. Unknown
+/// names in BALIGN_PROGRAMS are a fatal error — a typo must not silently
+/// fall back to running the full suite.
 inline std::vector<ProgramSpec>
 tunedSuite(std::vector<ProgramSpec> suite)
 {
@@ -32,31 +37,76 @@ tunedSuite(std::vector<ProgramSpec> suite)
         }
     }
     if (const char *env = std::getenv("BALIGN_PROGRAMS")) {
-        std::vector<ProgramSpec> filtered;
         const std::string list = env;
+        const char *separators = ", \t";
+        std::vector<std::string> names;
+        std::size_t pos = 0;
+        while (pos <= list.size()) {
+            const std::size_t sep = list.find_first_of(separators, pos);
+            const std::size_t end =
+                sep == std::string::npos ? list.size() : sep;
+            if (end > pos)
+                names.push_back(list.substr(pos, end - pos));
+            pos = end + 1;
+        }
+        for (const auto &name : names) {
+            bool known = false;
+            for (const auto &spec : suite)
+                known = known || spec.name == name;
+            if (!known)
+                fatal("BALIGN_PROGRAMS: '%s' is not a suite program",
+                      name.c_str());
+        }
+        std::vector<ProgramSpec> filtered;
         for (const auto &spec : suite) {
-            std::size_t pos = 0;
-            bool keep = false;
-            while (pos != std::string::npos) {
-                const std::size_t comma = list.find(',', pos);
-                const std::string name =
-                    list.substr(pos, comma == std::string::npos
-                                         ? std::string::npos
-                                         : comma - pos);
-                if (name == spec.name) {
-                    keep = true;
+            for (const auto &name : names) {
+                if (spec.name == name) {
+                    filtered.push_back(spec);
                     break;
                 }
-                pos = comma == std::string::npos ? comma : comma + 1;
             }
-            if (keep)
-                filtered.push_back(spec);
         }
-        if (!filtered.empty())
-            return filtered;
+        if (filtered.empty())
+            fatal("BALIGN_PROGRAMS='%s' selected no suite programs", env);
+        return filtered;
     }
     return suite;
 }
+
+/**
+ * One-line machine-readable timing record for the perf trajectory:
+ *   {"bench":NAME,"threads":N,"programs":M,"wall_s":W,"phases":{...}}
+ * wall_s is elapsed time; the phase values are summed across threads.
+ */
+inline std::string
+timingJson(const char *bench, unsigned threads, std::size_t programs,
+           double wall_seconds, const PhaseTimes &times)
+{
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "{\"bench\":\"%s\",\"threads\":%u,\"programs\":%zu,"
+                  "\"wall_s\":%.6f,\"phases\":",
+                  bench, threads, programs, wall_seconds);
+    return std::string(head) + times.json() + "}";
+}
+
+/// Elapsed-seconds stopwatch for the wall_s field.
+class WallClock
+{
+  public:
+    WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+    double
+    seconds() const
+    {
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start_;
+        return elapsed.count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 /// Group-average tracker preserving the paper's grouping rows.
 struct GroupAverages

@@ -31,10 +31,18 @@ prepareProgram(Program program, const WalkOptions &walk,
     if (!name.empty())
         prepared.program.setName(name);
 
+    // One walk both profiles the program and records the event stream;
+    // every evaluation replays the recording instead of walking again.
     prepared.program.clearWeights();
     Profiler profiler(prepared.program);
-    balign::walk(prepared.program, walk, profiler);
+    TraceRecorder recorder(prepared.program);
+    MultiSink fanout;
+    fanout.add(&profiler);
+    fanout.add(&recorder);
+    recorder.setWalkResult(balign::walk(prepared.program, walk, fanout));
     prepared.stats = profiler.stats();
+    prepared.trace =
+        std::make_shared<const RecordedTrace>(recorder.take());
     return prepared;
 }
 
@@ -47,10 +55,25 @@ prepareProgram(const ProgramSpec &spec)
     return prepareProgram(generateProgram(spec), walk, spec.name);
 }
 
+namespace {
+
+/// Feeds the prepared program's event stream to one sink: a tight replay
+/// of the recorded trace, or (hand-built PreparedProgram) a fresh walk.
+void
+feedTrace(const PreparedProgram &prepared, EventSink &sink)
+{
+    if (prepared.trace != nullptr)
+        prepared.trace->replay(prepared.program, sink);
+    else
+        walk(prepared.program, prepared.walk, sink);
+}
+
+}  // namespace
+
 ExperimentRun
 runConfigs(const PreparedProgram &prepared,
            const std::vector<ExperimentConfig> &configs,
-           const AlignOptions &options)
+           const AlignOptions &options, const RunContext &context)
 {
     const Program &program = prepared.program;
 
@@ -85,31 +108,59 @@ runConfigs(const PreparedProgram &prepared,
                          arch_dependent ? config.arch : Arch::Fallthrough};
     };
 
-    std::map<LayoutKey, std::unique_ptr<ProgramLayout>> layouts;
-    std::map<LayoutKey, std::unique_ptr<CostModel>> models;
+    // Deduplicate the layout keys first so each distinct layout is aligned
+    // exactly once; the alignments themselves are independent of each
+    // other, so they are scheduled across the pool when one is available.
+    std::vector<LayoutKey> keys;
+    std::vector<ExperimentConfig> key_configs;
+    std::map<LayoutKey, std::size_t> key_index;
     for (const auto &config : configs) {
         const LayoutKey key = layout_key(config);
-        if (layouts.count(key))
-            continue;
+        if (key_index.emplace(key, keys.size()).second) {
+            keys.push_back(key);
+            key_configs.push_back(config);
+        }
+    }
+
+    std::vector<std::unique_ptr<ProgramLayout>> layouts(keys.size());
+    std::vector<std::unique_ptr<CostModel>> models(keys.size());
+    auto align_one = [&](std::size_t i) {
+        const ExperimentConfig &config = key_configs[i];
         auto model = std::make_unique<CostModel>(config.arch);
         AlignOptions arch_options = options;
         if (config.arch == Arch::BtFnt)
             arch_options.chainOrder = ChainOrderPolicy::BtFntPrecedence;
-        layouts[key] = std::make_unique<ProgramLayout>(alignProgram(
+        layouts[i] = std::make_unique<ProgramLayout>(alignProgram(
             program, config.kind, model.get(), arch_options));
-        models[key] = std::move(model);
+        models[i] = std::move(model);
+    };
+    {
+        ScopedPhaseTimer timer(context.times, "align");
+        if (context.pool != nullptr)
+            context.pool->parallelFor(keys.size(), align_one);
+        else
+            for (std::size_t i = 0; i < keys.size(); ++i)
+                align_one(i);
     }
 
-    // One evaluator per configuration, all fed by a single replay walk.
-    std::vector<std::unique_ptr<ArchEvaluator>> evaluators;
-    MultiSink fanout;
-    for (const auto &config : configs) {
-        const ProgramLayout &layout = *layouts.at(layout_key(config));
-        evaluators.push_back(std::make_unique<ArchEvaluator>(
-            program, layout, EvalParams::forArch(config.arch)));
-        fanout.add(&evaluators.back()->sink());
+    // One evaluator per configuration, each fed by its own independent
+    // replay of the recorded trace.
+    std::vector<std::unique_ptr<ArchEvaluator>> evaluators(configs.size());
+    auto replay_one = [&](std::size_t i) {
+        const ProgramLayout &layout =
+            *layouts[key_index.at(layout_key(configs[i]))];
+        evaluators[i] = std::make_unique<ArchEvaluator>(
+            program, layout, EvalParams::forArch(configs[i].arch));
+        feedTrace(prepared, evaluators[i]->sink());
+    };
+    {
+        ScopedPhaseTimer timer(context.times, "replay");
+        if (context.pool != nullptr)
+            context.pool->parallelFor(configs.size(), replay_one);
+        else
+            for (std::size_t i = 0; i < configs.size(); ++i)
+                replay_one(i);
     }
-    walk(program, prepared.walk, fanout);
 
     // The original-layout instruction count anchors every relative CPI.
     std::uint64_t orig_instrs = 0;
@@ -121,10 +172,11 @@ runConfigs(const PreparedProgram &prepared,
     }
     if (orig_instrs == 0) {
         // No Original configuration requested: evaluate one on the fly.
+        ScopedPhaseTimer timer(context.times, "replay");
         const ProgramLayout orig = originalLayout(program);
         ArchEvaluator eval(program, orig,
                            EvalParams::forArch(Arch::BtFnt));
-        walk(program, prepared.walk, eval.sink());
+        feedTrace(prepared, eval.sink());
         orig_instrs = eval.result().instrs;
     }
     run.origInstrs = orig_instrs;

@@ -2,9 +2,16 @@
  * @file
  * Experiment driver: generate (or accept) a program, profile it with one
  * seeded walk, align it for a set of (architecture, algorithm) pairs, and
- * evaluate every configuration against a second, identical walk — the
+ * evaluate every configuration against the identical event stream — the
  * paper's methodology ("for each architecture, we use the same input to
  * align the program and to measure the improvement").
+ *
+ * The profiling walk is captured once into a RecordedTrace
+ * (trace/recorder.h); each configuration is then evaluated by replaying
+ * the buffer, so no configuration ever re-executes walker control flow or
+ * the RNG, and replays are independent — runConfigs schedules them across
+ * a ThreadPool when one is supplied (see sim/runner.h for the suite-level
+ * parallel driver). Results are bit-identical regardless of thread count.
  *
  * Layouts are shared where the paper shares them: Original and Greedy are
  * architecture-independent; Cost and TryN are re-run per architecture with
@@ -14,12 +21,16 @@
 #ifndef BALIGN_SIM_CPI_H
 #define BALIGN_SIM_CPI_H
 
+#include <memory>
 #include <vector>
 
 #include "bpred/evaluator.h"
 #include "cfg/cfg_stats.h"
 #include "cfg/program.h"
 #include "core/align_program.h"
+#include "support/stats.h"
+#include "support/thread_pool.h"
+#include "trace/recorder.h"
 #include "trace/walker.h"
 #include "workload/spec.h"
 
@@ -55,14 +66,17 @@ struct ExperimentRun
 
 /**
  * A profiled program ready for evaluation: the CFG with measured edge
- * weights plus the walk configuration that produced (and will reproduce)
- * the trace.
+ * weights, the walk configuration that produced the trace, and the
+ * recorded event stream itself (captured during the profiling walk).
  */
 struct PreparedProgram
 {
     Program program;
     WalkOptions walk;
     ProgramStats stats;
+    /// The profiling walk's event stream; evaluation replays this buffer.
+    /// When null (hand-built PreparedProgram), runConfigs re-walks instead.
+    std::shared_ptr<const RecordedTrace> trace;
 };
 
 /// Generates and profiles the program described by @p spec.
@@ -72,13 +86,23 @@ PreparedProgram prepareProgram(const ProgramSpec &spec);
 PreparedProgram prepareProgram(Program program, const WalkOptions &walk,
                                const std::string &name = "");
 
+/// Optional execution context for runConfigs: a pool to spread alignment
+/// and per-configuration replays across, and a phase-time sink.
+struct RunContext
+{
+    ThreadPool *pool = nullptr;   ///< null = run serially
+    PhaseTimes *times = nullptr;  ///< accumulates "align" / "replay" seconds
+};
+
 /**
- * Evaluates all configurations with ONE replay walk (fanning the event
- * stream out to every evaluator).
+ * Evaluates all configurations against the prepared program's recorded
+ * trace (one independent replay per configuration; parallel when the
+ * context carries a pool).
  */
 ExperimentRun runConfigs(const PreparedProgram &prepared,
                          const std::vector<ExperimentConfig> &configs,
-                         const AlignOptions &options = {});
+                         const AlignOptions &options = {},
+                         const RunContext &context = {});
 
 /// Convenience: prepare + run.
 ExperimentRun runExperiment(const ProgramSpec &spec,

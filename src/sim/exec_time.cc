@@ -3,36 +3,55 @@
 #include "core/align_program.h"
 #include "layout/materialize.h"
 #include "sim/cpi.h"
-#include "trace/event.h"
+#include "trace/recorder.h"
 #include "trace/walker.h"
+#include "workload/generator.h"
 
 namespace balign {
 
 ExecTimeResult
-runExecTime(const ProgramSpec &spec, const PipelineParams &params)
+runExecTime(const ProgramSpec &spec, const PipelineParams &params,
+            PhaseTimes *times)
 {
-    const PreparedProgram prepared = prepareProgram(spec);
+    Program generated;
+    {
+        ScopedPhaseTimer timer(times, "generate");
+        generated = generateProgram(spec);
+    }
+    WalkOptions walk_options;
+    walk_options.seed = traceSeed(spec);
+    walk_options.instrBudget = spec.traceInstrs;
+    PreparedProgram prepared;
+    {
+        ScopedPhaseTimer timer(times, "profile");
+        prepared =
+            prepareProgram(std::move(generated), walk_options, spec.name);
+    }
     const Program &program = prepared.program;
 
     // Layouts: the greedy alignment used everywhere, and the Try15/BTB
     // alignment (paper §6.1).
-    const ProgramLayout orig = originalLayout(program);
-    const CostModel btb_model(Arch::PhtDirect);
-    AlignOptions options;
-    const ProgramLayout greedy =
-        alignProgram(program, AlignerKind::Greedy, nullptr, options);
-    const ProgramLayout try15 =
-        alignProgram(program, AlignerKind::Try15, &btb_model, options);
+    ProgramLayout orig, greedy, try15;
+    {
+        ScopedPhaseTimer timer(times, "align");
+        orig = originalLayout(program);
+        const CostModel btb_model(Arch::PhtDirect);
+        AlignOptions options;
+        greedy = alignProgram(program, AlignerKind::Greedy, nullptr, options);
+        try15 = alignProgram(program, AlignerKind::Try15, &btb_model,
+                             options);
+    }
 
     Alpha21064Model orig_model(program, orig, params);
     Alpha21064Model greedy_model(program, greedy, params);
     Alpha21064Model try15_model(program, try15, params);
-
-    MultiSink fanout;
-    fanout.add(&orig_model.sink());
-    fanout.add(&greedy_model.sink());
-    fanout.add(&try15_model.sink());
-    walk(program, prepared.walk, fanout);
+    {
+        // One independent replay of the recorded trace per pipeline model.
+        ScopedPhaseTimer timer(times, "replay");
+        prepared.trace->replay(program, orig_model.sink());
+        prepared.trace->replay(program, greedy_model.sink());
+        prepared.trace->replay(program, try15_model.sink());
+    }
 
     ExecTimeResult result;
     result.name = spec.name;

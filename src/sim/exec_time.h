@@ -14,6 +14,7 @@
 #define BALIGN_SIM_EXEC_TIME_H
 
 #include "sim/pipeline.h"
+#include "support/stats.h"
 #include "workload/spec.h"
 
 namespace balign {
@@ -38,9 +39,12 @@ struct ExecTimeResult
     std::uint64_t origInstrs = 0;
 };
 
-/// Runs the Figure-4 experiment for one program model.
+/// Runs the Figure-4 experiment for one program model. The pipeline models
+/// replay the recorded profiling trace (one replay per layout); @p times,
+/// when given, accumulates generate/profile/align/replay wall time.
 ExecTimeResult runExecTime(const ProgramSpec &spec,
-                           const PipelineParams &params = {});
+                           const PipelineParams &params = {},
+                           PhaseTimes *times = nullptr);
 
 }  // namespace balign
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 namespace balign {
 
@@ -77,6 +78,47 @@ double
 pct(double num, double den)
 {
     return 100.0 * safeRatio(num, den);
+}
+
+void
+PhaseTimes::add(const std::string &phase, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &entry : phases_) {
+        if (entry.first == phase) {
+            entry.second += seconds;
+            return;
+        }
+    }
+    phases_.emplace_back(phase, seconds);
+}
+
+double
+PhaseTimes::seconds(const std::string &phase) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &entry : phases_) {
+        if (entry.first == phase)
+            return entry.second;
+    }
+    return 0.0;
+}
+
+std::string
+PhaseTimes::json() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{";
+    char buffer[64];
+    for (std::size_t i = 0; i < phases_.size(); ++i) {
+        if (i > 0)
+            out += ",";
+        std::snprintf(buffer, sizeof(buffer), "\"%s\":%.6f",
+                      phases_[i].first.c_str(), phases_[i].second);
+        out += buffer;
+    }
+    out += "}";
+    return out;
 }
 
 }  // namespace balign

@@ -1,13 +1,18 @@
 /**
  * @file
- * Small statistics helpers used by the evaluators and bench harnesses.
+ * Small statistics helpers used by the evaluators and bench harnesses,
+ * plus the per-phase wall-time instrumentation for the experiment runner.
  */
 
 #ifndef BALIGN_SUPPORT_STATS_H
 #define BALIGN_SUPPORT_STATS_H
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace balign {
@@ -61,6 +66,62 @@ double safeRatio(double num, double den);
 
 /// Percentage helper returning 0 when the denominator is 0.
 double pct(double num, double den);
+
+/**
+ * Thread-safe accumulator of wall-clock seconds per named phase
+ * (generate / profile / align / replay for the experiment runner).
+ *
+ * Accumulated CPU-seconds across threads can exceed elapsed wall time; the
+ * runner reports both so trajectories can compute parallel efficiency.
+ * Phases keep first-insertion order in json().
+ */
+class PhaseTimes
+{
+  public:
+    /// Adds @p seconds to @p phase (creating the phase on first use).
+    void add(const std::string &phase, double seconds);
+
+    /// Accumulated seconds for @p phase; 0 if never recorded.
+    double seconds(const std::string &phase) const;
+
+    /// Phases as a one-line JSON object: {"generate":1.234,...}.
+    std::string json() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::pair<std::string, double>> phases_;
+};
+
+/**
+ * RAII timer adding the elapsed wall time to a PhaseTimes on destruction.
+ * A null @p times makes the timer a no-op.
+ */
+class ScopedPhaseTimer
+{
+  public:
+    ScopedPhaseTimer(PhaseTimes *times, const char *phase)
+        : times_(times), phase_(phase),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+    ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+    ~ScopedPhaseTimer()
+    {
+        if (times_ == nullptr)
+            return;
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start_;
+        times_->add(phase_, elapsed.count());
+    }
+
+  private:
+    PhaseTimes *times_;
+    const char *phase_;
+    std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace balign
 

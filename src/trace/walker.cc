@@ -29,6 +29,9 @@ walk(const Program &program, const WalkOptions &options, EventSink &sink)
         panic("walk: empty program");
 
     std::vector<Frame> stack;
+    // Scratch weight buffer for indirect jumps, reused across events so the
+    // hot loop performs no per-event heap allocation.
+    std::vector<double> weights;
     // Per-branch pattern positions (allocated lazily per procedure).
     std::vector<std::vector<std::uint8_t>> pattern_pos(program.numProcs());
     // Per-branch last outcomes: 0 = not taken, 1 = taken, 2 = none yet.
@@ -114,7 +117,7 @@ walk(const Program &program, const WalkOptions &options, EventSink &sink)
             break;
           }
           case Terminator::IndirectJump: {
-            std::vector<double> weights;
+            weights.clear();
             weights.reserve(block.outEdges.size());
             bool any = false;
             for (auto index : block.outEdges) {

@@ -41,9 +41,10 @@
 #include "core/align_program.h"
 #include "core/unroll.h"
 #include "layout/materialize.h"
-#include "sim/cpi.h"
+#include "sim/runner.h"
 #include "support/log.h"
 #include "support/table.h"
+#include "support/thread_pool.h"
 #include "trace/profiler.h"
 #include "trace/walker.h"
 #include "workload/generator.h"
@@ -266,7 +267,12 @@ cmdEvaluate(const Args &args)
         {arch, AlignerKind::Cost},
         {arch, AlignerKind::Try15},
     };
-    const ExperimentRun run = runConfigs(prepared, configs);
+    // Alignments and per-configuration replays run on the thread pool
+    // (BALIGN_THREADS; results are identical for any thread count).
+    ThreadPool pool(defaultThreads());
+    PhaseTimes times;
+    const ExperimentRun run =
+        runConfigs(prepared, configs, {}, RunContext{&pool, &times});
 
     Table table({"layout", "rel CPI", "BEP", "fall-through %",
                  "mispredicts", "misfetches"});
@@ -283,6 +289,8 @@ cmdEvaluate(const Args &args)
                 prepared.program.name().c_str(), archName(arch),
                 withCommas(run.origInstrs).c_str());
     table.print(std::cout);
+    inform("phase timing (threads=%u): %s", pool.threads(),
+           times.json().c_str());
     return 0;
 }
 

@@ -131,6 +131,12 @@ class ArchEvaluator : public BranchEventHandler
     ArchEvaluator(const Program &program, const ProgramLayout &layout,
                   const EvalParams &params);
 
+    /// Only references are kept; temporaries would dangle.
+    ArchEvaluator(const Program &, ProgramLayout &&,
+                  const EvalParams &) = delete;
+    ArchEvaluator(Program &&, const ProgramLayout &,
+                  const EvalParams &) = delete;
+
     /// The EventSink to drive with a walk.
     EventSink &sink() { return adapter_; }
 

@@ -1,0 +1,300 @@
+#include "check/differ.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "support/log.h"
+#include "trace/walker.h"
+
+namespace balign {
+
+const char *
+divergenceKindName(DivergenceKind kind)
+{
+    switch (kind) {
+      case DivergenceKind::Structural: return "structural";
+      case DivergenceKind::Event: return "event";
+      case DivergenceKind::Counters: return "counters";
+    }
+    return "?";
+}
+
+const std::vector<Arch> &
+allArchs()
+{
+    static const std::vector<Arch> archs = {
+        Arch::Fallthrough, Arch::BtFnt,     Arch::Likely,
+        Arch::PhtDirect,   Arch::PhtCorrelated, Arch::PhtLocal,
+        Arch::BtbSmall,    Arch::BtbLarge,
+    };
+    return archs;
+}
+
+const std::vector<AlignerKind> &
+allAlignerKinds()
+{
+    static const std::vector<AlignerKind> kinds = {
+        AlignerKind::Original,
+        AlignerKind::Greedy,
+        AlignerKind::Cost,
+        AlignerKind::Try15,
+    };
+    return kinds;
+}
+
+std::string
+formatDivergence(const Divergence &divergence)
+{
+    std::ostringstream out;
+    out << "DIVERGENCE [" << divergenceKindName(divergence.kind) << "] "
+        << archName(divergence.arch) << "/"
+        << alignerKindName(divergence.aligner);
+    if (!divergence.program.empty())
+        out << " program=" << divergence.program;
+    out << "\n" << divergence.detail;
+    return out.str();
+}
+
+std::string
+compareSamples(const std::vector<BranchSample> &oracle,
+               const std::vector<BranchSample> &production,
+               std::size_t context)
+{
+    const std::size_t common = std::min(oracle.size(), production.size());
+    std::size_t first = common;
+    for (std::size_t i = 0; i < common; ++i) {
+        if (!(oracle[i] == production[i])) {
+            first = i;
+            break;
+        }
+    }
+    if (first == common && oracle.size() == production.size())
+        return {};
+
+    std::ostringstream out;
+    if (first == common) {
+        out << "sample streams differ in length: oracle has "
+            << oracle.size() << " events, production has "
+            << production.size() << " (first " << common << " agree)\n";
+    } else {
+        out << "first divergence at branch event " << first << " of "
+            << common << ":\n";
+        out << "  oracle:     " << formatSample(oracle[first]) << "\n";
+        out << "  production: " << formatSample(production[first]) << "\n";
+    }
+    const std::size_t from = first > context ? first - context : 0;
+    for (std::size_t i = from; i < first; ++i)
+        out << "  [" << i << "] " << formatSample(oracle[i]) << "\n";
+    if (first < common) {
+        out << "  [" << first << "] <- diverges here";
+    } else if (common > 0) {
+        out << "  [" << (common - 1) << "] last common event";
+    }
+    return out.str();
+}
+
+namespace {
+
+/**
+ * Taps the production BranchEventAdapter -> ArchEvaluator chain: forwards
+ * every callback unchanged while recording each branch event together
+ * with the penalty the evaluator attributed to it (observed as counter
+ * deltas around the call).
+ */
+class ProductionTap : public BranchEventHandler
+{
+  public:
+    explicit ProductionTap(ArchEvaluator &evaluator) : evaluator_(evaluator)
+    {
+    }
+
+    void
+    onInstrs(std::uint64_t count) override
+    {
+        evaluator_.onInstrs(count);
+    }
+
+    void
+    onFetchRange(Addr addr, std::uint32_t count) override
+    {
+        evaluator_.onFetchRange(addr, count);
+    }
+
+    void
+    onBranch(const BranchEvent &event) override
+    {
+        const EvalResult &result = evaluator_.result();
+        const std::uint64_t instrs_before = result.instrs;
+        const std::uint64_t mf_before = result.misfetches;
+        const std::uint64_t mp_before = result.mispredicts;
+        evaluator_.onBranch(event);
+        BranchSample sample;
+        sample.type = event.type;
+        sample.site = event.site;
+        sample.target = event.target;
+        sample.taken = event.taken;
+        sample.proc = event.proc;
+        sample.block = event.block;
+        sample.misfetches =
+            static_cast<std::uint8_t>(result.misfetches - mf_before);
+        sample.mispredicts =
+            static_cast<std::uint8_t>(result.mispredicts - mp_before);
+        sample.instrsBefore = instrs_before;
+        samples_.push_back(sample);
+    }
+
+    const std::vector<BranchSample> &samples() const { return samples_; }
+
+  private:
+    ArchEvaluator &evaluator_;
+    std::vector<BranchSample> samples_;
+};
+
+void
+feedEvents(const PreparedProgram &prepared, EventSink &sink)
+{
+    if (prepared.trace != nullptr)
+        prepared.trace->replay(prepared.program, sink);
+    else
+        walk(prepared.program, prepared.walk, sink);
+}
+
+/// Appends "name: oracle=X production=Y" for each mismatching counter.
+void
+compareCounter(std::ostringstream &out, const char *name,
+               std::uint64_t oracle, std::uint64_t production)
+{
+    if (oracle == production)
+        return;
+    out << "  " << name << ": oracle=" << oracle
+        << " production=" << production << "\n";
+}
+
+std::string
+compareResults(const EvalResult &oracle, const EvalResult &production)
+{
+    std::ostringstream out;
+    compareCounter(out, "instrs", oracle.instrs, production.instrs);
+    compareCounter(out, "misfetches", oracle.misfetches,
+                   production.misfetches);
+    compareCounter(out, "mispredicts", oracle.mispredicts,
+                   production.mispredicts);
+    compareCounter(out, "condExec", oracle.condExec, production.condExec);
+    compareCounter(out, "condTaken", oracle.condTaken,
+                   production.condTaken);
+    compareCounter(out, "condMispredicts", oracle.condMispredicts,
+                   production.condMispredicts);
+    compareCounter(out, "uncondExec", oracle.uncondExec,
+                   production.uncondExec);
+    compareCounter(out, "callExec", oracle.callExec, production.callExec);
+    compareCounter(out, "returnExec", oracle.returnExec,
+                   production.returnExec);
+    compareCounter(out, "returnMispredicts", oracle.returnMispredicts,
+                   production.returnMispredicts);
+    compareCounter(out, "indirectExec", oracle.indirectExec,
+                   production.indirectExec);
+    compareCounter(out, "btbLookups", oracle.btbLookups,
+                   production.btbLookups);
+    compareCounter(out, "btbHits", oracle.btbHits, production.btbHits);
+    if (oracle.bep() != production.bep()) {
+        out << "  bep: oracle=" << oracle.bep()
+            << " production=" << production.bep() << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace
+
+std::optional<Divergence>
+diffLayout(const PreparedProgram &prepared, const ProgramLayout &layout,
+           Arch arch, AlignerKind kind)
+{
+    const Program &program = prepared.program;
+    Divergence divergence;
+    divergence.arch = arch;
+    divergence.aligner = kind;
+    divergence.program = program.name();
+
+    // 1. The materializer's bookkeeping vs. the oracle's derivation.
+    const std::vector<std::string> structural =
+        crossCheckLayout(program, layout);
+    if (!structural.empty()) {
+        divergence.kind = DivergenceKind::Structural;
+        std::ostringstream out;
+        for (const std::string &message : structural)
+            out << "  " << message << "\n";
+        divergence.detail = out.str();
+        return divergence;
+    }
+
+    // 2. One shared event stream, both consumers.
+    const EvalParams params = EvalParams::forArch(arch);
+    OracleEvaluator oracle(program, layout, params);
+    ArchEvaluator production(program, layout, params);
+    ProductionTap tap(production);
+    BranchEventAdapter adapter(program, layout, tap);
+    MultiSink fanout;
+    fanout.add(&adapter);
+    fanout.add(&oracle);
+    feedEvents(prepared, fanout);
+
+    const std::string events = compareSamples(oracle.samples(),
+                                              tap.samples());
+    if (!events.empty()) {
+        divergence.kind = DivergenceKind::Event;
+        divergence.detail = events;
+        return divergence;
+    }
+
+    // 3. Accumulated totals.
+    const std::string counters =
+        compareResults(oracle.result(), production.result());
+    if (!counters.empty()) {
+        divergence.kind = DivergenceKind::Counters;
+        divergence.detail = counters;
+        return divergence;
+    }
+    return std::nullopt;
+}
+
+std::vector<Divergence>
+diffPrepared(const PreparedProgram &prepared, const DiffOptions &options)
+{
+    const std::vector<Arch> &archs =
+        options.archs.empty() ? allArchs() : options.archs;
+    const std::vector<AlignerKind> &kinds =
+        options.kinds.empty() ? allAlignerKinds() : options.kinds;
+
+    std::vector<Divergence> divergences;
+    for (const AlignerKind kind : kinds) {
+        for (const Arch arch : archs) {
+            // Mirror runConfigs: per-architecture cost model, and the
+            // BT/FNT chain-ordering override that makes even Greedy
+            // layouts architecture-specific under BT/FNT.
+            const CostModel model(arch);
+            AlignOptions arch_options = options.align;
+            if (arch == Arch::BtFnt)
+                arch_options.chainOrder = ChainOrderPolicy::BtFntPrecedence;
+            const ProgramLayout layout = alignProgram(
+                prepared.program, kind, &model, arch_options);
+            std::optional<Divergence> divergence =
+                diffLayout(prepared, layout, arch, kind);
+            if (divergence.has_value()) {
+                divergences.push_back(std::move(*divergence));
+                if (options.maxDivergences != 0 &&
+                    divergences.size() >= options.maxDivergences)
+                    return divergences;
+            }
+        }
+    }
+    return divergences;
+}
+
+std::vector<Divergence>
+diffProgram(Program program, const WalkOptions &walk,
+            const DiffOptions &options)
+{
+    return diffPrepared(prepareProgram(std::move(program), walk), options);
+}
+
+}  // namespace balign

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Differential harness: oracle vs. the production evaluation pipeline.
+ *
+ * One recorded event stream is fanned out to both sides at once — the
+ * production BranchEventAdapter -> ArchEvaluator chain (the exact code the
+ * experiments run) and the naive OracleEvaluator — and the two resulting
+ * branch-event streams are compared sample by sample. Three things can
+ * diverge, checked in order:
+ *
+ *  1. Structural: the materializer's address/size bookkeeping disagrees
+ *     with the oracle's independent derivation (crossCheckLayout).
+ *  2. Event: the streams differ at some branch execution — wrong site,
+ *     target, direction or penalty classification. The report pins the
+ *     first diverging event with both sides' renderings and the
+ *     surrounding context.
+ *  3. Counters: the streams matched but the accumulated EvalResult
+ *     totals do not (an accounting bug outside the per-event path).
+ *
+ * diffPrepared() mirrors runConfigs() layout construction exactly
+ * (per-architecture cost models, the BT/FNT chain-ordering override) so
+ * what gets diffed is what the experiments actually evaluate.
+ */
+
+#ifndef BALIGN_CHECK_DIFFER_H
+#define BALIGN_CHECK_DIFFER_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/oracle.h"
+#include "core/align_program.h"
+#include "sim/cpi.h"
+
+namespace balign {
+
+/// Which layer of the comparison disagreed.
+enum class DivergenceKind : std::uint8_t {
+    Structural,  ///< materializer bookkeeping vs. independent derivation
+    Event,       ///< branch-event streams differ
+    Counters,    ///< streams agree but accumulated totals do not
+};
+
+/// Printable kind name.
+const char *divergenceKindName(DivergenceKind kind);
+
+/// One detected oracle/production disagreement.
+struct Divergence
+{
+    DivergenceKind kind = DivergenceKind::Event;
+    Arch arch = Arch::Fallthrough;
+    AlignerKind aligner = AlignerKind::Original;
+    std::string program;  ///< program name (may be empty)
+    std::string detail;   ///< full context, multi-line
+};
+
+/// Multi-line report for one divergence.
+std::string formatDivergence(const Divergence &divergence);
+
+/// Configurations a diff sweeps.
+struct DiffOptions
+{
+    /// Architectures to check (empty = all eight).
+    std::vector<Arch> archs;
+    /// Aligners to check (empty = Original, Greedy, Cost, Try15).
+    std::vector<AlignerKind> kinds;
+    /// Alignment options (the BT/FNT chain-order override is applied on
+    /// top, exactly as runConfigs does).
+    AlignOptions align;
+    /// Stop after this many divergences (0 = collect all).
+    std::size_t maxDivergences = 1;
+};
+
+/// Every architecture the simulator knows.
+const std::vector<Arch> &allArchs();
+
+/// The aligners the paper studies (including the identity layout).
+const std::vector<AlignerKind> &allAlignerKinds();
+
+/**
+ * Compares two branch-sample streams. Returns an empty string when they
+ * are identical, else a multi-line description of the first mismatch
+ * (index, both renderings, and up to @p context preceding samples).
+ */
+std::string compareSamples(const std::vector<BranchSample> &oracle,
+                           const std::vector<BranchSample> &production,
+                           std::size_t context = 3);
+
+/**
+ * Diffs one (prepared program, layout, architecture) triple. The layout
+ * must have been materialized for @p prepared.program.
+ */
+std::optional<Divergence> diffLayout(const PreparedProgram &prepared,
+                                     const ProgramLayout &layout, Arch arch,
+                                     AlignerKind kind);
+
+/// Diffs every configured (architecture, aligner) pair of @p options.
+std::vector<Divergence> diffPrepared(const PreparedProgram &prepared,
+                                     const DiffOptions &options = {});
+
+/// Convenience: profile @p program with @p walk, then diffPrepared.
+std::vector<Divergence> diffProgram(Program program, const WalkOptions &walk,
+                                    const DiffOptions &options = {});
+
+}  // namespace balign
+
+#endif  // BALIGN_CHECK_DIFFER_H

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Structured CFG fuzzer with automatic shrinking.
+ *
+ * Each fuzz seed deterministically produces a program — either a random
+ * compiler-shaped CFG (wide parameter ranges over the workload generator)
+ * or one of the hand-built degenerate shapes (single-block loops, dense
+ * indirect jumps, 1-instruction blocks, call chains past the walker's
+ * depth cap, ...) — and drives every aligner x architecture pair through
+ * the differential harness (check/differ.h).
+ *
+ * When a divergence is found, the shrinker minimizes the repro in the
+ * issue's order — drop procedures, drop blocks (truncate-to-return +
+ * unreachable-block GC), halve weights (trace budget and block sizes) —
+ * while the divergence persists, then serializes it into tests/corpus/
+ * with the walk parameters embedded as '#' comments (the serializer
+ * ignores comments, so corpus files stay plain loadProgram-compatible).
+ */
+
+#ifndef BALIGN_CHECK_FUZZ_H
+#define BALIGN_CHECK_FUZZ_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/differ.h"
+#include "trace/walker.h"
+
+namespace balign {
+
+/// A self-contained reproduction: the program plus the walk that drives it.
+struct Repro
+{
+    Program program;
+    WalkOptions walk;
+};
+
+/// Number of hand-built degenerate program shapes.
+std::size_t numDegenerateKinds();
+
+/// Printable name of degenerate shape @p kind.
+const char *degenerateKindName(std::size_t kind);
+
+/**
+ * Builds degenerate shape @p kind (< numDegenerateKinds()), lightly
+ * perturbed by @p seed (block sizes, biases). Valid by construction.
+ */
+Program degenerateProgram(std::size_t kind, std::uint64_t seed);
+
+/// Random compiler-shaped program for one fuzz seed (valid by
+/// construction; wide parameter ranges over the workload generator).
+Program fuzzProgram(std::uint64_t seed);
+
+/// The program a fuzz seed maps to: every few seeds a degenerate shape,
+/// otherwise a random program.
+Program programForSeed(std::uint64_t seed);
+
+/// The walk driving a fuzz seed.
+WalkOptions walkForSeed(std::uint64_t seed, std::uint64_t instr_budget);
+
+/// Fuzzing campaign configuration.
+struct FuzzOptions
+{
+    std::uint64_t seeds = 100;      ///< number of seeds to run
+    std::uint64_t firstSeed = 1;    ///< first seed value
+    std::uint64_t walkInstrs = 20'000;  ///< per-seed instruction budget
+    DiffOptions diff;               ///< configurations to sweep
+    /// Directory for shrunk repro files (empty = do not save).
+    std::string corpusDir;
+    /// Parallelize seeds across this pool (null = serial).
+    ThreadPool *pool = nullptr;
+    /// Per-seed progress lines on stderr.
+    bool verbose = false;
+};
+
+/// Campaign outcome.
+struct FuzzReport
+{
+    std::uint64_t programsRun = 0;
+    std::uint64_t configsChecked = 0;
+    /// First divergence per diverging seed, AFTER shrinking.
+    std::vector<Divergence> divergences;
+    /// Repro files written (parallel to divergences; empty string when
+    /// corpusDir was not set).
+    std::vector<std::string> reproPaths;
+};
+
+/// Runs the campaign: seeds -> programs -> differ -> shrink -> corpus.
+FuzzReport runFuzz(const FuzzOptions &options);
+
+/**
+ * Shrinks @p repro while @p stillFails keeps returning true. The
+ * predicate must be deterministic; it is never called on an invalid
+ * program. Returns the smallest failing repro found.
+ */
+Repro shrinkRepro(Repro repro,
+                  const std::function<bool(const Repro &)> &stillFails);
+
+/// Writes a repro file: walk parameters as magic comments + the program.
+void saveRepro(const Repro &repro, const std::string &path);
+
+/**
+ * Loads a repro file. Walk parameters are read from the magic comment
+ * (`# balign-fuzz-walk seed=<S> budget=<B>`); files without one (plain
+ * serialized programs) get default walk options. Returns nullopt with a
+ * message on stderr for unparsable files.
+ */
+std::optional<Repro> loadRepro(const std::string &path);
+
+}  // namespace balign
+
+#endif  // BALIGN_CHECK_FUZZ_H

@@ -1,0 +1,853 @@
+#include "check/oracle.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <deque>
+
+#include "support/log.h"
+
+namespace balign {
+
+namespace {
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    char buf[512];
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+const char *
+sampleTypeName(BranchEvent::Type type)
+{
+    switch (type) {
+      case BranchEvent::Type::Cond: return "cond";
+      case BranchEvent::Type::Uncond: return "uncond";
+      case BranchEvent::Type::Indirect: return "indirect";
+      case BranchEvent::Type::Call: return "call";
+      case BranchEvent::Type::Return: return "return";
+    }
+    return "?";
+}
+
+/// The edge kind the realized branch targets, written out longhand.
+EdgeKind
+naiveBranchTargetKind(CondRealization realization)
+{
+    if (realization == CondRealization::FallAdjacent)
+        return EdgeKind::Taken;
+    if (realization == CondRealization::NeitherJumpToFall)
+        return EdgeKind::Taken;
+    // Sense inverted: the branch instruction targets the CFG fall-through
+    // successor.
+    return EdgeKind::FallThrough;
+}
+
+/// Realized branch direction + whether the inserted jump runs, for a
+/// traversal of the given CFG edge kind.
+struct NaiveOutcome
+{
+    bool branchTaken;
+    bool jumpExecuted;
+};
+
+NaiveOutcome
+naiveCondOutcome(CondRealization realization, EdgeKind kind)
+{
+    const bool via_taken = kind == EdgeKind::Taken;
+    switch (realization) {
+      case CondRealization::FallAdjacent:
+        // Branch keeps its sense: taken edge -> branch taken.
+        return {via_taken, false};
+      case CondRealization::TakenAdjacent:
+        // Sense inverted: the CFG taken edge is now the fall-through path.
+        return {!via_taken, false};
+      case CondRealization::NeitherJumpToFall:
+        // Branch targets the taken successor; reaching the fall successor
+        // means not-taken, then the inserted jump.
+        if (via_taken)
+            return {true, false};
+        return {false, true};
+      case CondRealization::NeitherJumpToTaken:
+        // Inverted: branch targets the fall successor; reaching the taken
+        // successor means not-taken, then the inserted jump.
+        if (via_taken)
+            return {false, true};
+        return {true, false};
+    }
+    panic("naiveCondOutcome: bad realization");
+}
+
+}  // namespace
+
+std::string
+formatSample(const BranchSample &sample)
+{
+    return strprintf("%-8s site=%llu target=%lld taken=%d proc=%u block=%u "
+                     "mf=%u mp=%u instrs-before=%llu",
+                     sampleTypeName(sample.type),
+                     static_cast<unsigned long long>(sample.site),
+                     sample.target == kNoAddr
+                         ? -1ll
+                         : static_cast<long long>(sample.target),
+                     sample.taken ? 1 : 0, sample.proc, sample.block,
+                     sample.misfetches, sample.mispredicts,
+                     static_cast<unsigned long long>(sample.instrsBefore));
+}
+
+OracleLayout
+deriveOracleLayout(const Program &program, const ProgramLayout &layout)
+{
+    OracleLayout derived;
+    derived.procs.resize(program.numProcs());
+    auto oops = [&](ProcId p, const char *fmt, auto... args) {
+        derived.structuralErrors.push_back(
+            strprintf("proc %u: ", p) + strprintf(fmt, args...));
+    };
+
+    if (layout.procs.size() != program.numProcs()) {
+        derived.structuralErrors.push_back(strprintf(
+            "layout has %zu procedures, program has %zu",
+            layout.procs.size(), program.numProcs()));
+        return derived;
+    }
+
+    Addr base = 0;
+    for (ProcId p = 0; p < program.numProcs(); ++p) {
+        const Procedure &proc = program.proc(p);
+        const ProcLayout &pl = layout.procs[p];
+        OracleLayout::Proc &out = derived.procs[p];
+        const std::size_t n = proc.numBlocks();
+
+        out.base = base;
+        out.addr.assign(n, kNoAddr);
+        out.branchAddr.assign(n, kNoAddr);
+        out.jumpAddr.assign(n, kNoAddr);
+        out.baseInstrs.assign(n, 0);
+        out.finalInstrs.assign(n, 0);
+        out.jumpInserted.assign(n, false);
+        out.jumpRemoved.assign(n, false);
+
+        if (pl.order.size() != n) {
+            oops(p, "order lists %zu of %zu blocks", pl.order.size(), n);
+            continue;
+        }
+        if (n > 0 && pl.order.front() != proc.entry()) {
+            oops(p, "order starts at block %u, entry is %u",
+                 pl.order.front(), proc.entry());
+        }
+        std::vector<unsigned> appearances(n, 0);
+        for (BlockId id : pl.order) {
+            if (id >= n) {
+                oops(p, "order names unknown block %u", id);
+                continue;
+            }
+            ++appearances[id];
+        }
+        for (BlockId id = 0; id < n; ++id) {
+            if (appearances[id] != 1)
+                oops(p, "block %u appears %u times in the order", id,
+                     appearances[id]);
+        }
+
+        // Walk the order, deciding one block at a time what the binary
+        // holds: which jumps exist, how big each block is, and (second
+        // loop) where everything lands.
+        for (std::size_t i = 0; i < pl.order.size(); ++i) {
+            const BlockId id = pl.order[i];
+            if (id >= n)
+                continue;
+            const BasicBlock &block = proc.block(id);
+            const BlockId next = i + 1 < pl.order.size()
+                                     ? pl.order[i + 1]
+                                     : kNoBlock;
+
+            bool inserted = false;
+            bool removed = false;
+            switch (block.term) {
+              case Terminator::CondBranch: {
+                const std::int64_t taken_index = proc.takenEdge(id);
+                const std::int64_t fall_index = proc.fallThroughEdge(id);
+                if (taken_index < 0 || fall_index < 0) {
+                    oops(p, "cond block %u lacks taken/fall edges", id);
+                    break;
+                }
+                const BlockId taken_dst =
+                    proc.edge(static_cast<std::uint32_t>(taken_index)).dst;
+                const BlockId fall_dst =
+                    proc.edge(static_cast<std::uint32_t>(fall_index)).dst;
+                const CondRealization real = pl.blocks[id].cond;
+                // The realization's fall-through path must actually be the
+                // next block of the layout.
+                if (real == CondRealization::FallAdjacent &&
+                    fall_dst != next) {
+                    oops(p,
+                         "block %u realized FallAdjacent but fall "
+                         "successor %u is not adjacent (next is %d)",
+                         id, fall_dst, static_cast<int>(next));
+                }
+                if (real == CondRealization::TakenAdjacent &&
+                    taken_dst != next) {
+                    oops(p,
+                         "block %u realized TakenAdjacent but taken "
+                         "successor %u is not adjacent (next is %d)",
+                         id, taken_dst, static_cast<int>(next));
+                }
+                inserted = real == CondRealization::NeitherJumpToFall ||
+                           real == CondRealization::NeitherJumpToTaken;
+                break;
+              }
+              case Terminator::UncondBranch: {
+                const std::int64_t taken_index = proc.takenEdge(id);
+                if (taken_index < 0) {
+                    oops(p, "uncond block %u lacks a taken edge", id);
+                    break;
+                }
+                const BlockId dst =
+                    proc.edge(static_cast<std::uint32_t>(taken_index)).dst;
+                removed = dst == next;
+                break;
+              }
+              case Terminator::FallThrough: {
+                const std::int64_t fall_index = proc.fallThroughEdge(id);
+                if (fall_index >= 0) {
+                    const BlockId dst =
+                        proc.edge(static_cast<std::uint32_t>(fall_index))
+                            .dst;
+                    inserted = dst != next;
+                }
+                break;
+              }
+              case Terminator::IndirectJump:
+              case Terminator::Return:
+                break;
+            }
+
+            out.jumpInserted[id] = inserted;
+            out.jumpRemoved[id] = removed;
+            out.baseInstrs[id] = block.numInstrs - (removed ? 1u : 0u);
+            out.finalInstrs[id] = out.baseInstrs[id] + (inserted ? 1u : 0u);
+        }
+
+        Addr addr = base;
+        for (BlockId id : pl.order) {
+            if (id >= n)
+                continue;
+            const BasicBlock &block = proc.block(id);
+            out.addr[id] = addr;
+            if (block.hasBranchInstr() && !out.jumpRemoved[id])
+                out.branchAddr[id] = addr + block.numInstrs - 1;
+            if (out.jumpInserted[id])
+                out.jumpAddr[id] = addr + block.numInstrs;
+            addr += out.finalInstrs[id];
+        }
+        out.totalInstrs = addr - base;
+        if (n > 0 && pl.order.front() < n)
+            out.entryAddr = out.addr[pl.order.front()];
+        base = addr;
+    }
+    return derived;
+}
+
+std::vector<std::string>
+crossCheckLayout(const Program &program, const ProgramLayout &layout)
+{
+    const OracleLayout derived = deriveOracleLayout(program, layout);
+    std::vector<std::string> mismatches = derived.structuralErrors;
+    if (layout.procs.size() != program.numProcs())
+        return mismatches;
+
+    for (ProcId p = 0; p < program.numProcs(); ++p) {
+        const ProcLayout &pl = layout.procs[p];
+        const OracleLayout::Proc &out = derived.procs[p];
+        auto bad = [&](BlockId b, const char *field, std::uint64_t expect,
+                       std::uint64_t got) {
+            mismatches.push_back(strprintf(
+                "proc %u block %u: %s is %llu, independent derivation "
+                "says %llu",
+                p, b, field, static_cast<unsigned long long>(got),
+                static_cast<unsigned long long>(expect)));
+        };
+        if (pl.base != out.base) {
+            mismatches.push_back(strprintf(
+                "proc %u: base is %llu, independent derivation says %llu",
+                p, static_cast<unsigned long long>(pl.base),
+                static_cast<unsigned long long>(out.base)));
+        }
+        if (pl.totalInstrs != out.totalInstrs) {
+            mismatches.push_back(strprintf(
+                "proc %u: totalInstrs is %llu, independent derivation "
+                "says %llu",
+                p, static_cast<unsigned long long>(pl.totalInstrs),
+                static_cast<unsigned long long>(out.totalInstrs)));
+        }
+        const std::size_t n = std::min(pl.blocks.size(), out.addr.size());
+        for (BlockId b = 0; b < n; ++b) {
+            const BlockLayout &bl = pl.blocks[b];
+            if (bl.addr != out.addr[b])
+                bad(b, "addr", out.addr[b], bl.addr);
+            if (bl.baseInstrs != out.baseInstrs[b])
+                bad(b, "baseInstrs", out.baseInstrs[b], bl.baseInstrs);
+            if (bl.finalInstrs != out.finalInstrs[b])
+                bad(b, "finalInstrs", out.finalInstrs[b], bl.finalInstrs);
+            if (bl.branchAddr != out.branchAddr[b])
+                bad(b, "branchAddr", out.branchAddr[b], bl.branchAddr);
+            if (bl.jumpAddr != out.jumpAddr[b])
+                bad(b, "jumpAddr", out.jumpAddr[b], bl.jumpAddr);
+            if (bl.jumpInserted != out.jumpInserted[b])
+                bad(b, "jumpInserted", out.jumpInserted[b], bl.jumpInserted);
+            if (bl.jumpRemoved != out.jumpRemoved[b])
+                bad(b, "jumpRemoved", out.jumpRemoved[b], bl.jumpRemoved);
+        }
+    }
+    return mismatches;
+}
+
+// ---------------------------------------------------------------------------
+// Naive predictor models. Plain containers, modulo indexing, linear scans.
+
+namespace {
+
+/// An n-bit saturating counter as three lines of arithmetic.
+struct NaiveCounter
+{
+    unsigned value = 0;
+    unsigned top = 3;
+
+    explicit NaiveCounter(unsigned bits = 2)
+        : value(((1u << bits) - 1) / 2), top((1u << bits) - 1)
+    {
+    }
+
+    bool taken() const { return value > top / 2; }
+
+    void
+    train(bool was_taken)
+    {
+        if (was_taken && value < top)
+            ++value;
+        if (!was_taken && value > 0)
+            --value;
+    }
+};
+
+struct NaivePht
+{
+    std::vector<NaiveCounter> counters;
+
+    NaivePht(std::size_t entries, unsigned bits)
+        : counters(entries, NaiveCounter(bits))
+    {
+    }
+
+    bool predict(Addr site) const
+    {
+        return counters[site % counters.size()].taken();
+    }
+
+    void train(Addr site, bool taken)
+    {
+        counters[site % counters.size()].train(taken);
+    }
+};
+
+struct NaiveGshare
+{
+    std::vector<NaiveCounter> counters;
+    std::uint64_t history = 0;
+    std::uint64_t historySize;
+
+    NaiveGshare(std::size_t entries, unsigned history_bits, unsigned bits)
+        : counters(entries, NaiveCounter(bits)),
+          historySize(std::uint64_t{1} << history_bits)
+    {
+    }
+
+    bool predict(Addr site) const
+    {
+        return counters[(site ^ history) % counters.size()].taken();
+    }
+
+    void
+    train(Addr site, bool taken)
+    {
+        counters[(site ^ history) % counters.size()].train(taken);
+        history = (history * 2 + (taken ? 1 : 0)) % historySize;
+    }
+};
+
+struct NaiveLocal
+{
+    std::vector<std::uint64_t> histories;
+    std::vector<NaiveCounter> patterns;
+    std::uint64_t historySize;
+
+    NaiveLocal(std::size_t history_entries, unsigned history_bits,
+               unsigned bits)
+        : histories(history_entries, 0),
+          patterns(std::size_t{1} << history_bits, NaiveCounter(bits)),
+          historySize(std::uint64_t{1} << history_bits)
+    {
+    }
+
+    bool
+    predict(Addr site) const
+    {
+        return patterns[histories[site % histories.size()]].taken();
+    }
+
+    void
+    train(Addr site, bool taken)
+    {
+        std::uint64_t &history = histories[site % histories.size()];
+        patterns[history].train(taken);
+        history = (history * 2 + (taken ? 1 : 0)) % historySize;
+    }
+};
+
+struct NaiveBtb
+{
+    struct Entry
+    {
+        bool valid = false;
+        Addr site = 0;
+        Addr target = 0;
+        NaiveCounter counter;
+        std::uint64_t stamp = 0;
+    };
+
+    std::vector<std::vector<Entry>> sets;
+    unsigned counterBits;
+    std::uint64_t clock = 0;
+
+    NaiveBtb(std::size_t entries, std::size_t ways, unsigned bits)
+        : sets(entries / ways, std::vector<Entry>(ways)), counterBits(bits)
+    {
+    }
+
+    Entry *
+    find(Addr site)
+    {
+        std::vector<Entry> &set = sets[site % sets.size()];
+        for (Entry &entry : set) {
+            if (entry.valid && entry.site == site)
+                return &entry;
+        }
+        return nullptr;
+    }
+
+    void
+    train(Addr site, bool taken, Addr target)
+    {
+        ++clock;
+        if (Entry *entry = find(site)) {
+            entry->counter.train(taken);
+            if (taken)
+                entry->target = target;
+            entry->stamp = clock;
+            return;
+        }
+        if (!taken)
+            return;  // not-taken branches are never inserted
+        std::vector<Entry> &set = sets[site % sets.size()];
+        Entry *victim = &set[0];
+        for (Entry &entry : set) {
+            if (!entry.valid) {
+                victim = &entry;
+                break;
+            }
+            if (entry.stamp < victim->stamp)
+                victim = &entry;
+        }
+        victim->valid = true;
+        victim->site = site;
+        victim->target = target;
+        victim->counter = NaiveCounter(counterBits);
+        victim->counter.value = victim->counter.top / 2 + 1;  // weakly taken
+        victim->stamp = clock;
+    }
+};
+
+/// Bounded LIFO return stack: keeps the newest N return addresses.
+struct NaiveRas
+{
+    std::deque<Addr> stack;
+    std::size_t cap;
+
+    explicit NaiveRas(std::size_t entries) : cap(entries) {}
+
+    void
+    push(Addr return_addr)
+    {
+        if (stack.size() == cap)
+            stack.pop_front();
+        stack.push_back(return_addr);
+    }
+
+    Addr
+    pop()
+    {
+        if (stack.empty())
+            return kNoAddr;
+        const Addr addr = stack.back();
+        stack.pop_back();
+        return addr;
+    }
+};
+
+}  // namespace
+
+struct OracleEvaluator::Predictors
+{
+    std::unique_ptr<NaivePht> pht;
+    std::unique_ptr<NaiveGshare> gshare;
+    std::unique_ptr<NaiveLocal> local;
+    std::unique_ptr<NaiveBtb> btb;
+    NaiveRas ras;
+    /// Profile-majority likely bit per (proc offset + block).
+    std::vector<std::size_t> likelyOffsets;
+    std::vector<bool> likelyBits;
+
+    explicit Predictors(std::size_t ras_entries) : ras(ras_entries) {}
+};
+
+OracleEvaluator::OracleEvaluator(const Program &program,
+                                 const ProgramLayout &layout,
+                                 const EvalParams &params)
+    : program_(program),
+      layout_(layout),
+      params_(params),
+      derived_(deriveOracleLayout(program, layout)),
+      pred_(std::make_unique<Predictors>(params.rasEntries))
+{
+    result_.penalties = params.penalties;
+    switch (params.arch) {
+      case Arch::PhtDirect:
+        pred_->pht = std::make_unique<NaivePht>(params.phtEntries,
+                                                params.counterBits);
+        break;
+      case Arch::PhtCorrelated:
+        pred_->gshare = std::make_unique<NaiveGshare>(
+            params.phtEntries, params.historyBits, params.counterBits);
+        break;
+      case Arch::PhtLocal:
+        pred_->local = std::make_unique<NaiveLocal>(
+            params.phtEntries, params.historyBits, params.counterBits);
+        break;
+      case Arch::BtbSmall:
+      case Arch::BtbLarge:
+        pred_->btb = std::make_unique<NaiveBtb>(
+            params.btbEntries, params.btbWays, params.counterBits);
+        break;
+      case Arch::Likely: {
+        // The likely bit is the majority realized direction of each
+        // conditional branch under this layout's senses.
+        pred_->likelyOffsets.resize(program.numProcs());
+        std::size_t total = 0;
+        for (ProcId p = 0; p < program.numProcs(); ++p) {
+            pred_->likelyOffsets[p] = total;
+            total += program.proc(p).numBlocks();
+        }
+        pred_->likelyBits.assign(total, false);
+        for (ProcId p = 0; p < program.numProcs(); ++p) {
+            const Procedure &proc = program.proc(p);
+            for (const BasicBlock &block : proc.blocks()) {
+                if (block.term != Terminator::CondBranch)
+                    continue;
+                const std::int64_t ti = proc.takenEdge(block.id);
+                const std::int64_t fi = proc.fallThroughEdge(block.id);
+                if (ti < 0 || fi < 0)
+                    continue;
+                const Weight w_taken =
+                    proc.edge(static_cast<std::uint32_t>(ti)).weight;
+                const Weight w_fall =
+                    proc.edge(static_cast<std::uint32_t>(fi)).weight;
+                const EdgeKind branch_kind = naiveBranchTargetKind(
+                    layout.procs[p].blocks[block.id].cond);
+                Weight w_branch = w_taken;
+                Weight w_through = w_fall;
+                if (branch_kind == EdgeKind::FallThrough) {
+                    w_branch = w_fall;
+                    w_through = w_taken;
+                }
+                pred_->likelyBits[pred_->likelyOffsets[p] + block.id] =
+                    w_branch > w_through;
+            }
+        }
+        break;
+      }
+      case Arch::Fallthrough:
+      case Arch::BtFnt:
+        break;
+    }
+}
+
+OracleEvaluator::~OracleEvaluator() = default;
+
+void
+OracleEvaluator::onBlock(ProcId proc, BlockId block)
+{
+    instrs_ += derived_.procs[proc].baseInstrs[block];
+    result_.instrs = instrs_;
+    curProc_ = proc;
+    curBlock_ = block;
+}
+
+void
+OracleEvaluator::onCall(ProcId proc, BlockId block, const CallSite &site)
+{
+    const Addr call_addr = derived_.procs[proc].addr[block] + site.offset;
+    const Addr target = derived_.procs[site.callee].entryAddr;
+    branchEvent(BranchEvent::Type::Call, call_addr, target, true, proc,
+                block);
+}
+
+void
+OracleEvaluator::resolvePendingReturn(Addr actual_target)
+{
+    if (curProc_ == kNoProc)
+        return;
+    const BasicBlock &block = program_.proc(curProc_).block(curBlock_);
+    if (block.term != Terminator::Return)
+        return;  // dead-end unwind: no return instruction executed
+    const Addr site = derived_.procs[curProc_].branchAddr[curBlock_];
+    branchEvent(BranchEvent::Type::Return, site, actual_target, true,
+                curProc_, curBlock_);
+}
+
+void
+OracleEvaluator::onReturn(ProcId proc, BlockId block, const CallSite &site)
+{
+    const Addr resume =
+        derived_.procs[proc].addr[block] + site.offset + 1;
+    resolvePendingReturn(resume);
+    curProc_ = proc;
+    curBlock_ = block;
+}
+
+void
+OracleEvaluator::onExit()
+{
+    resolvePendingReturn(kNoAddr);
+    curProc_ = kNoProc;
+    curBlock_ = kNoBlock;
+}
+
+void
+OracleEvaluator::onEdge(ProcId proc, std::uint32_t edge_index)
+{
+    const Procedure &procedure = program_.proc(proc);
+    const Edge &edge = procedure.edge(edge_index);
+    const BasicBlock &block = procedure.block(edge.src);
+    const OracleLayout::Proc &pl = derived_.procs[proc];
+
+    switch (block.term) {
+      case Terminator::CondBranch: {
+        const CondRealization real = layout_.procs[proc].blocks[edge.src].cond;
+        const NaiveOutcome outcome = naiveCondOutcome(real, edge.kind);
+        const EdgeKind target_kind = naiveBranchTargetKind(real);
+        const std::int64_t target_index =
+            target_kind == EdgeKind::Taken
+                ? procedure.takenEdge(edge.src)
+                : procedure.fallThroughEdge(edge.src);
+        const BlockId target_block =
+            procedure.edge(static_cast<std::uint32_t>(target_index)).dst;
+        branchEvent(BranchEvent::Type::Cond, pl.branchAddr[edge.src],
+                    pl.addr[target_block], outcome.branchTaken, proc,
+                    edge.src);
+        if (outcome.jumpExecuted) {
+            instrs_ += 1;
+            result_.instrs = instrs_;
+            branchEvent(BranchEvent::Type::Uncond, pl.jumpAddr[edge.src],
+                        pl.addr[edge.dst], true, proc, edge.src);
+        }
+        break;
+      }
+      case Terminator::UncondBranch:
+        if (!pl.jumpRemoved[edge.src]) {
+            branchEvent(BranchEvent::Type::Uncond, pl.branchAddr[edge.src],
+                        pl.addr[edge.dst], true, proc, edge.src);
+        }
+        break;
+      case Terminator::FallThrough:
+        if (pl.jumpInserted[edge.src]) {
+            instrs_ += 1;
+            result_.instrs = instrs_;
+            branchEvent(BranchEvent::Type::Uncond, pl.jumpAddr[edge.src],
+                        pl.addr[edge.dst], true, proc, edge.src);
+        }
+        break;
+      case Terminator::IndirectJump:
+        branchEvent(BranchEvent::Type::Indirect, pl.branchAddr[edge.src],
+                    pl.addr[edge.dst], true, proc, edge.src);
+        break;
+      case Terminator::Return:
+        derived_.structuralErrors.push_back(
+            strprintf("proc %u: edge %u leaves a return block", proc,
+                      edge_index));
+        break;
+    }
+}
+
+void
+OracleEvaluator::branchEvent(BranchEvent::Type type, Addr site, Addr target,
+                             bool taken, ProcId proc, BlockId block)
+{
+    BranchSample sample;
+    sample.type = type;
+    sample.site = site;
+    sample.target = target;
+    sample.taken = taken;
+    sample.proc = proc;
+    sample.block = block;
+    sample.instrsBefore = instrs_;
+
+    unsigned misfetch = 0;
+    unsigned mispredict = 0;
+    NaiveBtb *btb = pred_->btb.get();
+
+    switch (type) {
+      case BranchEvent::Type::Cond: {
+        ++result_.condExec;
+        if (taken)
+            ++result_.condTaken;
+        if (btb != nullptr) {
+            ++result_.btbLookups;
+            NaiveBtb::Entry *hit = btb->find(site);
+            if (hit != nullptr)
+                ++result_.btbHits;
+            const bool predicted =
+                hit != nullptr && hit->counter.taken();
+            if (predicted != taken) {
+                mispredict = 1;
+            } else if (taken && hit->target != target) {
+                mispredict = 1;
+            }
+            // A correctly predicted taken branch whose stored target is
+            // right redirected fetch in time: no bubble at all.
+            btb->train(site, taken, target);
+            result_.condMispredicts += mispredict;
+            break;
+        }
+        bool predicted = false;
+        switch (params_.arch) {
+          case Arch::Fallthrough:
+            predicted = false;
+            break;
+          case Arch::BtFnt:
+            predicted = target <= site;
+            break;
+          case Arch::Likely:
+            predicted =
+                pred_->likelyBits[pred_->likelyOffsets[proc] + block];
+            break;
+          case Arch::PhtDirect:
+            predicted = pred_->pht->predict(site);
+            pred_->pht->train(site, taken);
+            break;
+          case Arch::PhtCorrelated:
+            predicted = pred_->gshare->predict(site);
+            pred_->gshare->train(site, taken);
+            break;
+          case Arch::PhtLocal:
+            predicted = pred_->local->predict(site);
+            pred_->local->train(site, taken);
+            break;
+          default:
+            panic("oracle: unexpected arch for cond branch");
+        }
+        if (predicted != taken)
+            mispredict = 1;
+        else if (taken)
+            misfetch = 1;  // right direction; target known only at decode
+        result_.condMispredicts += mispredict;
+        break;
+      }
+      case BranchEvent::Type::Uncond:
+      case BranchEvent::Type::Call: {
+        if (type == BranchEvent::Type::Call) {
+            ++result_.callExec;
+            pred_->ras.push(site + 1);
+        } else {
+            ++result_.uncondExec;
+        }
+        if (btb != nullptr) {
+            ++result_.btbLookups;
+            NaiveBtb::Entry *hit = btb->find(site);
+            if (hit != nullptr) {
+                ++result_.btbHits;
+                if (!(hit->counter.taken() && hit->target == target))
+                    misfetch = 1;  // stale entry: redirect after decode
+            } else {
+                misfetch = 1;
+            }
+            btb->train(site, true, target);
+        } else {
+            misfetch = 1;  // always-taken break, target known at decode
+        }
+        break;
+      }
+      case BranchEvent::Type::Indirect: {
+        ++result_.indirectExec;
+        if (btb != nullptr) {
+            ++result_.btbLookups;
+            NaiveBtb::Entry *hit = btb->find(site);
+            if (hit != nullptr) {
+                ++result_.btbHits;
+                if (!(hit->counter.taken() && hit->target == target))
+                    mispredict = 1;
+            } else {
+                mispredict = 1;
+            }
+            btb->train(site, true, target);
+        } else {
+            mispredict = 1;  // computed target: unpredictable without a BTB
+        }
+        break;
+      }
+      case BranchEvent::Type::Return: {
+        ++result_.returnExec;
+        const Addr predicted = pred_->ras.pop();
+        if (target == kNoAddr)
+            break;  // program exit: no resume address, no penalty
+        const bool ras_correct = predicted == target;
+        if (btb != nullptr) {
+            ++result_.btbLookups;
+            NaiveBtb::Entry *hit = btb->find(site);
+            if (hit != nullptr) {
+                ++result_.btbHits;
+                // The hit identifies the return at fetch; a correct stack
+                // then costs nothing.
+                if (!ras_correct)
+                    mispredict = 1;
+            } else {
+                if (ras_correct)
+                    misfetch = 1;
+                else
+                    mispredict = 1;
+            }
+            btb->train(site, true, target);
+        } else {
+            if (ras_correct)
+                misfetch = 1;
+            else
+                mispredict = 1;
+        }
+        result_.returnMispredicts += mispredict;
+        break;
+      }
+    }
+
+    result_.misfetches += misfetch;
+    result_.mispredicts += mispredict;
+    sample.misfetches = static_cast<std::uint8_t>(misfetch);
+    sample.mispredicts = static_cast<std::uint8_t>(mispredict);
+    samples_.push_back(sample);
+}
+
+}  // namespace balign

@@ -82,6 +82,12 @@ class BranchEventAdapter : public EventSink
     {
     }
 
+    /// Only references are kept; temporaries would dangle.
+    BranchEventAdapter(const Program &, ProgramLayout &&,
+                       BranchEventHandler &) = delete;
+    BranchEventAdapter(Program &&, const ProgramLayout &,
+                       BranchEventHandler &) = delete;
+
     void onBlock(ProcId proc, BlockId block) override;
     void onCall(ProcId proc, BlockId block, const CallSite &site) override;
     void onReturn(ProcId proc, BlockId block, const CallSite &site) override;

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Oracle tests: the naive reference implementation (check/oracle.h) must
+ * agree bit-exactly with the production evaluation pipeline on the whole
+ * benchmark suite, and its independent address derivation must reproduce
+ * the materializer's bookkeeping field for field.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "bpred/cost_model.h"
+#include "cfg/builder.h"
+#include "cfg/validate.h"
+#include "check/differ.h"
+#include "check/oracle.h"
+#include "core/align_program.h"
+#include "layout/materialize.h"
+#include "sim/cpi.h"
+#include "workload/suite.h"
+
+using namespace balign;
+
+namespace {
+
+PreparedProgram
+preparedSuiteProgram(const char *name, std::uint64_t instrs)
+{
+    ProgramSpec spec = suiteSpec(name);
+    spec.traceInstrs = instrs;
+    return prepareProgram(spec);
+}
+
+/// The jump-chain shape: no uncond target is id-adjacent, so the original
+/// layout keeps every jump and Greedy removes them all.
+Program
+jumpChainProgram()
+{
+    Program program("jump-chain");
+    const ProcId main = program.addProc("main");
+    CfgBuilder b(program.proc(main));
+    const BlockId b0 = b.block(2, Terminator::UncondBranch);
+    const BlockId b1 = b.block(3, Terminator::UncondBranch);
+    const BlockId b2 = b.block(4, Terminator::UncondBranch);
+    const BlockId b3 = b.block(1, Terminator::Return);
+    b.taken(b0, b2, 5);
+    b.taken(b2, b1, 5);
+    b.taken(b1, b3, 5);
+    validateOrDie(program);
+    return program;
+}
+
+}  // namespace
+
+// The issue's acceptance bar: every suite program, every architecture,
+// every aligner — oracle and production streams and counters identical.
+TEST(Oracle, AgreesWithProductionOnWholeSuite)
+{
+    DiffOptions options;
+    options.maxDivergences = 1;
+    for (const auto &suite_spec : benchmarkSuite()) {
+        ProgramSpec spec = suite_spec;
+        spec.traceInstrs = 40'000;
+        const PreparedProgram prepared = prepareProgram(spec);
+        const auto divergences = diffPrepared(prepared, options);
+        for (const auto &divergence : divergences)
+            ADD_FAILURE() << formatDivergence(divergence);
+    }
+}
+
+// One program at a production-scale budget, to catch divergences that
+// only appear once predictor tables wrap and the RAS overflows.
+TEST(Oracle, AgreesAtLongerBudget)
+{
+    const PreparedProgram prepared = preparedSuiteProgram("compress", 300'000);
+    DiffOptions options;
+    options.maxDivergences = 1;
+    const auto divergences = diffPrepared(prepared, options);
+    for (const auto &divergence : divergences)
+        ADD_FAILURE() << formatDivergence(divergence);
+}
+
+TEST(Oracle, CrossCheckAcceptsMaterializedSuiteLayouts)
+{
+    for (const char *name : {"compress", "eqntott", "doduc"}) {
+        const PreparedProgram prepared = preparedSuiteProgram(name, 30'000);
+        const Program &program = prepared.program;
+
+        const ProgramLayout original = originalLayout(program);
+        EXPECT_TRUE(crossCheckLayout(program, original).empty()) << name;
+
+        for (const Arch arch : {Arch::PhtDirect, Arch::BtbSmall}) {
+            const CostModel model(arch);
+            const ProgramLayout cost =
+                alignProgram(program, AlignerKind::Cost, &model);
+            const auto errors = crossCheckLayout(program, cost);
+            for (const auto &error : errors)
+                ADD_FAILURE() << name << " / " << archName(arch) << ": "
+                              << error;
+        }
+    }
+}
+
+TEST(Oracle, DerivesJumpRemovalIndependently)
+{
+    const Program program = jumpChainProgram();
+
+    // Original layout: id order, nothing adjacent, all jumps kept.
+    const ProgramLayout original = originalLayout(program);
+    const OracleLayout derived = deriveOracleLayout(program, original);
+    ASSERT_TRUE(derived.structuralErrors.empty());
+    ASSERT_EQ(derived.procs.size(), 1u);
+    const auto &proc = derived.procs[0];
+    EXPECT_FALSE(proc.jumpRemoved[0]);
+    EXPECT_FALSE(proc.jumpRemoved[1]);
+    EXPECT_FALSE(proc.jumpRemoved[2]);
+    // Addresses accumulate block sizes in id order: 2, 3, 4, 1.
+    EXPECT_EQ(proc.addr[0], 0u);
+    EXPECT_EQ(proc.addr[1], 2u);
+    EXPECT_EQ(proc.addr[2], 5u);
+    EXPECT_EQ(proc.addr[3], 9u);
+    EXPECT_EQ(proc.totalInstrs, 10u);
+    // The uncond branch is each block's last instruction.
+    EXPECT_EQ(proc.branchAddr[0], 1u);
+    EXPECT_EQ(proc.baseInstrs[0], 2u);
+
+    // Greedy chains 0,2,1,3: every jump target becomes adjacent, every
+    // jump is removed, and each block shrinks by one instruction.
+    const ProgramLayout greedy =
+        alignProgram(program, AlignerKind::Greedy, nullptr);
+    const OracleLayout chained = deriveOracleLayout(program, greedy);
+    ASSERT_TRUE(chained.structuralErrors.empty());
+    const auto &cproc = chained.procs[0];
+    EXPECT_TRUE(cproc.jumpRemoved[0]);
+    EXPECT_TRUE(cproc.jumpRemoved[1]);
+    EXPECT_TRUE(cproc.jumpRemoved[2]);
+    EXPECT_EQ(cproc.baseInstrs[0], 1u);
+    EXPECT_EQ(cproc.baseInstrs[1], 2u);
+    EXPECT_EQ(cproc.baseInstrs[2], 3u);
+    EXPECT_EQ(cproc.branchAddr[0], kNoAddr);
+    EXPECT_EQ(cproc.totalInstrs, 7u);
+
+    // And the independent derivation matches the materializer exactly.
+    EXPECT_TRUE(crossCheckLayout(program, original).empty());
+    EXPECT_TRUE(crossCheckLayout(program, greedy).empty());
+}
+
+TEST(Oracle, ExposesDerivedLayoutAndSamples)
+{
+    const PreparedProgram prepared = preparedSuiteProgram("li", 20'000);
+    const ProgramLayout layout = originalLayout(prepared.program);
+    OracleEvaluator oracle(prepared.program, layout,
+                           EvalParams::forArch(Arch::PhtDirect));
+    ASSERT_TRUE(oracle.structuralErrors().empty());
+    ASSERT_NE(prepared.trace, nullptr);
+    prepared.trace->replay(prepared.program, oracle);
+
+    EXPECT_FALSE(oracle.samples().empty());
+    EXPECT_GT(oracle.result().instrs, 0u);
+    // Every sample's penalty is at most one bubble of each kind, and
+    // instrsBefore is nondecreasing along the stream.
+    std::uint64_t last = 0;
+    for (const auto &sample : oracle.samples()) {
+        EXPECT_LE(sample.misfetches, 1);
+        EXPECT_LE(sample.mispredicts, 1);
+        EXPECT_GE(sample.instrsBefore, last);
+        last = sample.instrsBefore;
+    }
+}

@@ -169,9 +169,9 @@ TEST(Figure3, CostAlignerAlsoBeatsGreedyHere)
     WalkOptions options;
     options.seed = 5;
     options.instrBudget = 100'000;
-    ArchEvaluator greedy_eval(program,
-                              alignProgram(program, AlignerKind::Greedy,
-                                           nullptr),
+    const ProgramLayout greedy_layout =
+        alignProgram(program, AlignerKind::Greedy, nullptr);
+    ArchEvaluator greedy_eval(program, greedy_layout,
                               EvalParams::forArch(Arch::Likely));
     ArchEvaluator cost_eval(program, cost_layout,
                             EvalParams::forArch(Arch::Likely));

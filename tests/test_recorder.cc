@@ -205,3 +205,28 @@ TEST(Recorder, RunConfigsMatchesWalkFallback)
         EXPECT_EQ(via_replay.cells[i].relCpi, via_walk.cells[i].relCpi);
     }
 }
+
+TEST(Recorder, TraceSurvivesProgramMove)
+{
+    // Call sites are stored by index, not by pointer, so a recorded trace
+    // must stay valid when the Program it came from is moved — exactly
+    // what happens when a PreparedProgram travels by value.
+    Prepared prepared = profiledProgram("espresso", 60'000);
+    const RecordedTrace trace =
+        recordTrace(prepared.program, prepared.walk);
+
+    const ProgramLayout layout = originalLayout(prepared.program);
+    ArchEvaluator before(prepared.program, layout,
+                         EvalParams::forArch(Arch::BtbSmall));
+    trace.replay(prepared.program, before.sink());
+
+    const Program moved = std::move(prepared.program);
+
+    LogSink replayed;
+    trace.replay(moved, replayed);
+    EXPECT_EQ(replayed.log.size(), trace.numEvents());
+
+    ArchEvaluator after(moved, layout, EvalParams::forArch(Arch::BtbSmall));
+    trace.replay(moved, after.sink());
+    expectEqualResults(before.result(), after.result(), "after move");
+}

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "cfg/serialize.h"
+#include "check/fuzz.h"
 #include "workload/generator.h"
 #include "workload/paper_figures.h"
 #include "workload/suite.h"
@@ -194,4 +195,35 @@ TEST(Serialize, LoadMissingFileReportsError)
     const ParseResult parsed = loadProgram("/nonexistent/path/prog");
     EXPECT_FALSE(parsed.ok());
     EXPECT_NE(parsed.error.find("cannot open"), std::string::npos);
+}
+
+TEST(Serialize, RoundTripDegenerateShapes)
+{
+    // The fuzzer's degenerate generators are the nastiest valid programs
+    // we know how to build (self-loops, unreachable blocks, dense
+    // indirect hubs, call chains past the walker's depth cap, outcome
+    // patterns and correlations); all of them must survive the text
+    // format unchanged.
+    for (std::size_t kind = 0; kind < numDegenerateKinds(); ++kind) {
+        const Program program = degenerateProgram(kind, 2);
+        const auto parsed = programFromString(programToString(program));
+        ASSERT_TRUE(parsed.ok())
+            << degenerateKindName(kind) << ": " << parsed.error;
+        expectEqualPrograms(program, *parsed.program);
+    }
+}
+
+TEST(Serialize, TrulyEmptyProcedureRejected)
+{
+    // A procedure with no blocks at all cannot be walked; the parser must
+    // reject it at validation instead of handing it to the pipeline.
+    const char *text =
+        "balign-program v1\n"
+        "program empty\n"
+        "main 0\n"
+        "proc 0 main entry 0\n"
+        "endproc\n";
+    const auto parsed = programFromString(text);
+    EXPECT_FALSE(parsed.ok());
+    EXPECT_FALSE(parsed.error.empty());
 }

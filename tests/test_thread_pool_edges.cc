@@ -1,0 +1,103 @@
+/**
+ * @file
+ * ThreadPool edge cases: empty ranges, pools wider than the work, nested
+ * parallelFor on a serial (1-thread) pool, and exception propagation from
+ * nested and oversubscribed runs. Complements the basic coverage in
+ * test_runner.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+using namespace balign;
+
+TEST(ThreadPoolEdges, ZeroItemsReturnsImmediately)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    pool.parallelFor(0, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 0);
+    // The pool is still usable afterwards.
+    pool.parallelFor(3, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPoolEdges, MoreThreadsThanItems)
+{
+    ThreadPool pool(8);
+    ASSERT_EQ(pool.threads(), 8u);
+    std::vector<std::atomic<int>> hits(2);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto &hit : hits)
+        EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolEdges, SingleItemOnWidePool)
+{
+    ThreadPool pool(6);
+    std::atomic<int> ran{0};
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ran.fetch_add(1);
+    });
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolEdges, NestedParallelForOnSerialPool)
+{
+    // A 1-thread pool runs everything on the caller; nesting must not
+    // deadlock and must still visit every (outer, inner) pair.
+    ThreadPool pool(1);
+    std::atomic<int> total{0};
+    pool.parallelFor(3, [&](std::size_t) {
+        pool.parallelFor(4, [&](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 12);
+}
+
+TEST(ThreadPoolEdges, ExceptionPropagatesFromSerialPool)
+{
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(5,
+                                  [](std::size_t i) {
+                                      if (i == 3)
+                                          throw std::runtime_error("item 3");
+                                  }),
+                 std::runtime_error);
+    // The pool survives a throwing run.
+    std::atomic<int> ran{0};
+    pool.parallelFor(2, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolEdges, ExceptionFromNestedRunPropagatesToOuterItem)
+{
+    ThreadPool pool(4);
+    std::atomic<int> caught{0};
+    pool.parallelFor(2, [&](std::size_t) {
+        try {
+            pool.parallelFor(3, [](std::size_t i) {
+                if (i == 1)
+                    throw std::runtime_error("inner");
+            });
+        } catch (const std::runtime_error &) {
+            caught.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(caught.load(), 2);
+}
+
+TEST(ThreadPoolEdges, ZeroThreadRequestClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), 1u);
+    std::atomic<int> ran{0};
+    pool.parallelFor(4, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 4);
+}

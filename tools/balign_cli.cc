@@ -26,6 +26,17 @@
  *   balign dot <FILE> [--proc N]
  *       Emit a Graphviz rendering of one procedure.
  *
+ *   balign fuzz [--seeds N] [--instrs N] [--seed S] [-o DIR]
+ *       Differentially fuzz the evaluation pipeline against the naive
+ *       oracle across all aligners and architectures; shrunk repros for
+ *       any divergence are written to DIR (default tests/corpus next to
+ *       the current directory is NOT assumed — divergences print and
+ *       fail the run either way).
+ *
+ *   balign repro <FILE> [--instrs N] [--seed S]
+ *       Replay one repro (or any serialized program) through the
+ *       differential oracle; prints the divergence or "no divergence".
+ *
  * Architectures: fallthrough btfnt likely pht gshare btb-small btb-large.
  * Algorithms: greedy cost try15.
  */
@@ -38,6 +49,8 @@
 
 #include "cfg/dot.h"
 #include "cfg/serialize.h"
+#include "check/differ.h"
+#include "check/fuzz.h"
 #include "core/align_program.h"
 #include "core/unroll.h"
 #include "layout/materialize.h"
@@ -61,7 +74,9 @@ struct Args
     std::string arch = "btfnt";
     std::string algo = "try15";
     std::uint64_t instrs = 2'000'000;
+    bool instrsSet = false;
     std::uint64_t seed = 1;
+    std::uint64_t seeds = 100;
     unsigned factor = 4;
     Weight minWeight = 1000;
     std::size_t groupSize = 15;
@@ -85,10 +100,13 @@ parseArgs(int argc, char **argv)
             args.arch = next();
         else if (arg == "--algo")
             args.algo = next();
-        else if (arg == "--instrs")
+        else if (arg == "--instrs") {
             args.instrs = std::strtoull(next().c_str(), nullptr, 10);
-        else if (arg == "--seed")
+            args.instrsSet = true;
+        } else if (arg == "--seed")
             args.seed = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--seeds")
+            args.seeds = std::strtoull(next().c_str(), nullptr, 10);
         else if (arg == "--factor")
             args.factor =
                 static_cast<unsigned>(std::strtoul(next().c_str(), nullptr, 10));
@@ -321,6 +339,63 @@ cmdDot(const Args &args)
     return 0;
 }
 
+int
+cmdFuzz(const Args &args)
+{
+    FuzzOptions options;
+    options.seeds = args.seeds;
+    options.firstSeed = args.seed;
+    options.walkInstrs = args.instrsSet ? args.instrs : 20'000;
+    options.corpusDir = args.output;
+    ThreadPool pool(defaultThreads());
+    options.pool = &pool;
+
+    const FuzzReport report = runFuzz(options);
+    std::printf("fuzz: %llu programs, %llu configurations checked, "
+                "%zu divergence(s)\n",
+                static_cast<unsigned long long>(report.programsRun),
+                static_cast<unsigned long long>(report.configsChecked),
+                report.divergences.size());
+    for (std::size_t i = 0; i < report.divergences.size(); ++i) {
+        std::printf("\n%s\n",
+                    formatDivergence(report.divergences[i]).c_str());
+        if (!report.reproPaths[i].empty())
+            std::printf("repro written to %s\n",
+                        report.reproPaths[i].c_str());
+    }
+    return report.divergences.empty() ? 0 : 1;
+}
+
+int
+cmdRepro(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("repro: need a repro file");
+    std::optional<Repro> repro = loadRepro(args.positional[0]);
+    if (!repro.has_value())
+        fatal("repro: cannot load %s", args.positional[0].c_str());
+    if (args.instrsSet)
+        repro->walk.instrBudget = args.instrs;
+
+    DiffOptions options;
+    options.maxDivergences = 0;  // report every diverging configuration
+    const std::vector<Divergence> divergences =
+        diffProgram(std::move(repro->program), repro->walk, options);
+    if (divergences.empty()) {
+        std::printf("no divergence: oracle and production agree on "
+                    "%s (walk seed %llu, budget %llu)\n",
+                    args.positional[0].c_str(),
+                    static_cast<unsigned long long>(repro->walk.seed),
+                    static_cast<unsigned long long>(
+                        repro->walk.instrBudget));
+        return 0;
+    }
+    for (const Divergence &divergence : divergences)
+        std::printf("%s\n\n", formatDivergence(divergence).c_str());
+    std::printf("%zu diverging configuration(s)\n", divergences.size());
+    return 1;
+}
+
 void
 usage()
 {
@@ -334,7 +409,9 @@ usage()
         "  align <FILE> --arch A --algo G             show the layout\n"
         "  evaluate <FILE> --arch A                   compare aligners\n"
         "  unroll <FILE> [--factor K] [-o FILE]       duplicate hot loops\n"
-        "  dot <FILE> [--proc N]                      Graphviz output\n");
+        "  dot <FILE> [--proc N]                      Graphviz output\n"
+        "  fuzz [--seeds N] [--instrs N] [-o DIR]     differential fuzzing\n"
+        "  repro <FILE> [--instrs N]                  replay one repro\n");
 }
 
 }  // namespace
@@ -362,6 +439,10 @@ main(int argc, char **argv)
         return cmdUnroll(args);
     if (command == "dot")
         return cmdDot(args);
+    if (command == "fuzz")
+        return cmdFuzz(args);
+    if (command == "repro")
+        return cmdRepro(args);
     usage();
     return 2;
 }

@@ -15,6 +15,7 @@ divergenceKindName(DivergenceKind kind)
       case DivergenceKind::Structural: return "structural";
       case DivergenceKind::Event: return "event";
       case DivergenceKind::Counters: return "counters";
+      case DivergenceKind::Lint: return "lint";
     }
     return "?";
 }

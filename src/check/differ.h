@@ -40,6 +40,8 @@ enum class DivergenceKind : std::uint8_t {
     Structural,  ///< materializer bookkeeping vs. independent derivation
     Event,       ///< branch-event streams differ
     Counters,    ///< streams agree but accumulated totals do not
+    Lint,        ///< static lint rules (lint/lint.h) rejected the inputs
+                 ///< before any trace was replayed
 };
 
 /// Printable kind name.

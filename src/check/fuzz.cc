@@ -6,6 +6,7 @@
 
 #include "cfg/serialize.h"
 #include "cfg/validate.h"
+#include "lint/lint.h"
 #include "support/log.h"
 #include "support/rng.h"
 #include "workload/generator.h"
@@ -624,6 +625,29 @@ loadRepro(const std::string &path)
     return repro;
 }
 
+std::optional<Divergence>
+lintGateCheck(const Program &program, const DiffOptions &options)
+{
+    LintRunOptions run;
+    run.archs = options.archs;
+    run.kinds = options.kinds;
+    run.align = options.align;
+    const LintReport report = lintProgram(program, run);
+    if (report.clean())
+        return std::nullopt;
+
+    Divergence divergence;
+    divergence.kind = DivergenceKind::Lint;
+    divergence.program = program.name();
+    std::ostringstream detail;
+    for (const Diagnostic &diagnostic : report.diagnostics) {
+        if (diagnostic.severity == Severity::Error)
+            detail << "  " << formatDiagnostic(diagnostic) << "\n";
+    }
+    divergence.detail = detail.str();
+    return divergence;
+}
+
 FuzzReport
 runFuzz(const FuzzOptions &options)
 {
@@ -638,14 +662,30 @@ runFuzz(const FuzzOptions &options)
     DiffOptions first_only = options.diff;
     first_only.maxDivergences = 1;
 
+    // One seed's full check: profile once, lint first (cheap, static),
+    // then the differential oracle on the same prepared program.
+    auto check = [&](Program program,
+                     const WalkOptions &walk) -> std::optional<Divergence> {
+        const PreparedProgram prepared =
+            prepareProgram(std::move(program), walk);
+        if (options.lintGate) {
+            std::optional<Divergence> hit =
+                lintGateCheck(prepared.program, first_only);
+            if (hit.has_value())
+                return hit;
+        }
+        std::vector<Divergence> divergences =
+            diffPrepared(prepared, first_only);
+        if (divergences.empty())
+            return std::nullopt;
+        return std::move(divergences.front());
+    };
+
     std::vector<std::optional<Divergence>> found(options.seeds);
     auto run_seed = [&](std::size_t i) {
         const std::uint64_t seed = options.firstSeed + i;
         const WalkOptions walk = walkForSeed(seed, options.walkInstrs);
-        std::vector<Divergence> divergences =
-            diffProgram(programForSeed(seed), walk, first_only);
-        if (!divergences.empty())
-            found[i] = std::move(divergences.front());
+        found[i] = check(programForSeed(seed), walk);
         if (options.verbose && options.pool == nullptr) {
             std::fprintf(stderr, "fuzz seed %llu: %s\n",
                          static_cast<unsigned long long>(seed),
@@ -669,18 +709,18 @@ runFuzz(const FuzzOptions &options)
                     walkForSeed(seed, options.walkInstrs)};
         auto still_fails = [&](const Repro &candidate) {
             Program copy = candidate.program;
-            return !diffProgram(std::move(copy), candidate.walk,
-                                first_only)
-                        .empty();
+            return check(std::move(copy), candidate.walk).has_value();
         };
         repro = shrinkRepro(std::move(repro), still_fails);
 
         Program copy = repro.program;
-        std::vector<Divergence> divergences =
-            diffProgram(std::move(copy), repro.walk, first_only);
-        report.divergences.push_back(
-            divergences.empty() ? std::move(*found[i])
-                                : std::move(divergences.front()));
+        std::optional<Divergence> final_divergence =
+            check(std::move(copy), repro.walk);
+        report.divergences.push_back(final_divergence.has_value()
+                                         ? std::move(*final_divergence)
+                                         : std::move(*found[i]));
+        if (report.divergences.back().kind == DivergenceKind::Lint)
+            ++report.lintHits;
 
         std::string path;
         if (!options.corpusDir.empty()) {

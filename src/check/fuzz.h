@@ -73,6 +73,11 @@ struct FuzzOptions
     ThreadPool *pool = nullptr;
     /// Per-seed progress lines on stderr.
     bool verbose = false;
+    /// Run the static linter (lint/lint.h) over the profiled program and
+    /// every layout BEFORE the differential oracle. A lint error is a
+    /// finding of its own (DivergenceKind::Lint) and shrinks exactly like
+    /// a divergence.
+    bool lintGate = true;
 };
 
 /// Campaign outcome.
@@ -80,12 +85,24 @@ struct FuzzReport
 {
     std::uint64_t programsRun = 0;
     std::uint64_t configsChecked = 0;
+    /// Findings of kind DivergenceKind::Lint among `divergences`.
+    std::uint64_t lintHits = 0;
     /// First divergence per diverging seed, AFTER shrinking.
     std::vector<Divergence> divergences;
     /// Repro files written (parallel to divergences; empty string when
     /// corpusDir was not set).
     std::vector<std::string> reproPaths;
 };
+
+/**
+ * The fuzzer's lint pre-gate: lints @p program (already profiled — the
+ * prof.* rules read its recorded weights) and the layouts of every
+ * configuration in @p options, mirroring the differ's sweep. Returns a
+ * DivergenceKind::Lint finding carrying the error diagnostics, or nullopt
+ * for a clean bill.
+ */
+std::optional<Divergence> lintGateCheck(const Program &program,
+                                        const DiffOptions &options = {});
 
 /// Runs the campaign: seeds -> programs -> differ -> shrink -> corpus.
 FuzzReport runFuzz(const FuzzOptions &options);

@@ -1,11 +1,66 @@
 #include "core/align_program.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "bpred/static_cost.h"
 #include "layout/materialize.h"
 #include "support/log.h"
 
 namespace balign {
+
+namespace {
+
+/// Shifts every program-global address in @p proc by placing it at
+/// @p base (addresses are contiguous, so a single delta applies).
+void
+rebaseProc(ProcLayout &proc, Addr base)
+{
+    if (proc.base == base)
+        return;
+    const std::int64_t delta = static_cast<std::int64_t>(base) -
+                               static_cast<std::int64_t>(proc.base);
+    auto shift = [delta](Addr &addr) {
+        if (addr != kNoAddr)
+            addr = static_cast<Addr>(static_cast<std::int64_t>(addr) + delta);
+    };
+    for (BlockLayout &block : proc.blocks) {
+        shift(block.addr);
+        shift(block.branchAddr);
+        shift(block.jumpAddr);
+    }
+    proc.base = base;
+}
+
+/**
+ * Per-procedure monotone fallback: keeps whichever of the candidate and
+ * baseline procedure layouts has the lower modelled branch cost, then
+ * re-bases the spliced procedures contiguously. Modelled cost is purely
+ * intra-procedural (conditional direction compares same-procedure
+ * addresses; jump costs are weight constants), so the splice's total cost
+ * is the sum of the per-procedure minima — never above the baseline's.
+ */
+ProgramLayout
+cheaperPerProc(const Program &program, ProgramLayout candidate,
+               ProgramLayout baseline, const CostModel &model)
+{
+    Addr base = 0;
+    for (const auto &proc : program.procs()) {
+        const ProcId id = proc.id();
+        const double candidate_cost =
+            modeledBranchCost(proc, candidate.procs[id], model);
+        const double baseline_cost =
+            modeledBranchCost(proc, baseline.procs[id], model);
+        if (baseline_cost < candidate_cost)
+            candidate.procs[id] = std::move(baseline.procs[id]);
+        rebaseProc(candidate.procs[id], base);
+        base += candidate.procs[id].totalInstrs;
+    }
+    candidate.totalInstrs = base;
+    return candidate;
+}
+
+}  // namespace
 
 ProgramLayout
 alignProgram(const Program &program, const Aligner &aligner,
@@ -57,7 +112,20 @@ alignProgram(const Program &program, AlignerKind kind, const CostModel *model,
     if (kind == AlignerKind::Original)
         return originalLayout(program);
     const auto aligner = makeAligner(kind, model, options);
-    return alignProgram(program, *aligner, model, options);
+    ProgramLayout layout = alignProgram(program, *aligner, model, options);
+    // Cost-guided aligners place chains from direction *hints*; once the
+    // true addresses are fixed a hint can turn out wrong and leave the
+    // result marginally costlier than the plain greedy chains. Fall back
+    // per procedure so the modelled cost is never worse than greedy's —
+    // the invariant lint's cost.monotone rule enforces.
+    if (kind != AlignerKind::Greedy &&
+        aligner->wantsCostModelMaterialization() && model != nullptr) {
+        ProgramLayout greedy =
+            alignProgram(program, AlignerKind::Greedy, model, options);
+        layout = cheaperPerProc(program, std::move(layout),
+                                std::move(greedy), *model);
+    }
+    return layout;
 }
 
 }  // namespace balign

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Lint diagnostics: severity, rule id, location and fix hint for one
+ * statically detected problem in a Program, edge profile or ProgramLayout.
+ *
+ * Diagnostics are plain data; the rules in src/lint/ produce them and the
+ * drivers in lint.h aggregate them into a LintReport with text and JSON
+ * renderings. Severity policy:
+ *
+ *  - Error:   an invariant the production pipeline must never violate
+ *             (broken CFG, non-conserved profile flow, illegal layout,
+ *             cost regression). Errors fail `balign lint` and count as
+ *             hits for the fuzzer's lint pre-gate.
+ *  - Warning: suspicious but legal (unreachable blocks, dead-end
+ *             fall-throughs). Reported, never fatal.
+ *  - Note:    informational context attached to other diagnostics.
+ */
+
+#ifndef BALIGN_LINT_DIAGNOSTIC_H
+#define BALIGN_LINT_DIAGNOSTIC_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "support/types.h"
+
+namespace balign {
+
+/// How bad a lint finding is. Order matters: higher is worse.
+enum class Severity : std::uint8_t {
+    Note,
+    Warning,
+    Error,
+};
+
+/// Printable severity name ("note" / "warning" / "error").
+const char *severityName(Severity severity);
+
+/// Sentinel for "no edge" in a lint location.
+inline constexpr std::uint32_t kNoEdge =
+    std::numeric_limits<std::uint32_t>::max();
+
+/**
+ * Where a diagnostic points. Any field may be its sentinel; a program-level
+ * finding leaves all three unset.
+ */
+struct LintLocation
+{
+    ProcId proc = kNoProc;
+    BlockId block = kNoBlock;
+    /// Index into Procedure::edges() when the finding is about one edge.
+    std::uint32_t edge = kNoEdge;
+};
+
+/// One lint finding.
+struct Diagnostic
+{
+    /// Stable rule identifier, e.g. "layout.addresses" (see rules.h).
+    std::string rule;
+    Severity severity = Severity::Error;
+    LintLocation loc;
+    /// What is wrong, one line.
+    std::string message;
+    /// How to fix it (may be empty).
+    std::string hint;
+    /// Architecture / aligner context for layout and cost rules (empty for
+    /// CFG and profile rules, which are layout-independent).
+    std::string arch;
+    std::string aligner;
+};
+
+/// One-line text rendering:
+/// `error[layout.addresses] proc=0 block=2 (btfnt/cost): message; fix: hint`
+std::string formatDiagnostic(const Diagnostic &diagnostic);
+
+/// Writes one diagnostic as a JSON object (schema in README.md).
+void writeDiagnosticJson(const Diagnostic &diagnostic, std::ostream &os);
+
+}  // namespace balign
+
+#endif  // BALIGN_LINT_DIAGNOSTIC_H

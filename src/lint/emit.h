@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Internal helper shared by the rule translation units: construct a
+ * Diagnostic whose severity comes from the registry, so a rule can never
+ * drift from its cataloged severity.
+ */
+
+#ifndef BALIGN_LINT_EMIT_H
+#define BALIGN_LINT_EMIT_H
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.h"
+#include "support/log.h"
+
+namespace balign {
+namespace lint_detail {
+
+inline Diagnostic &
+emit(std::vector<Diagnostic> &sink, const char *rule,
+     const LintLocation &loc, std::string message, std::string hint = "")
+{
+    const RuleInfo *info = findLintRule(rule);
+    if (info == nullptr)
+        panic("lint: rule '%s' missing from the registry", rule);
+    Diagnostic diagnostic;
+    diagnostic.rule = rule;
+    diagnostic.severity = info->severity;
+    diagnostic.loc = loc;
+    diagnostic.message = std::move(message);
+    diagnostic.hint = std::move(hint);
+    sink.push_back(std::move(diagnostic));
+    return sink.back();
+}
+
+}  // namespace lint_detail
+}  // namespace balign
+
+#endif  // BALIGN_LINT_EMIT_H

@@ -1,0 +1,116 @@
+#include "lint/lint.h"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "check/differ.h"
+#include "layout/chain_order.h"
+
+namespace balign {
+
+std::size_t
+LintReport::count(Severity severity) const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &diagnostic : diagnostics) {
+        if (diagnostic.severity == severity)
+            ++n;
+    }
+    return n;
+}
+
+LintReport
+lintProgram(const Program &program, const LintRunOptions &options)
+{
+    LintReport report;
+    lintCfg(program, report.diagnostics);
+    lintProfile(program, options.lint, report.diagnostics);
+
+    // A structurally broken CFG makes alignment meaningless (and the
+    // aligners may panic on it); stop at the structural findings.
+    if (!options.layoutRules || !report.clean())
+        return report;
+
+    const std::vector<Arch> &archs =
+        options.archs.empty() ? allArchs() : options.archs;
+    const std::vector<AlignerKind> &kinds =
+        options.kinds.empty() ? allAlignerKinds() : options.kinds;
+
+    for (const Arch arch : archs) {
+        // Mirror runConfigs: per-architecture cost model and the BT/FNT
+        // chain-ordering override, so what gets linted is what the
+        // experiments evaluate.
+        const CostModel model(arch);
+        AlignOptions align = options.align;
+        if (arch == Arch::BtFnt)
+            align.chainOrder = ChainOrderPolicy::BtFntPrecedence;
+
+        std::map<AlignerKind, ProgramLayout> layouts;
+        for (const AlignerKind kind : kinds) {
+            layouts[kind] = alignProgram(program, kind, &model, align);
+            lintLayout(program, layouts[kind], archName(arch),
+                       alignerKindName(kind), report.diagnostics);
+            ++report.layoutsChecked;
+        }
+
+        if (!options.costRules)
+            continue;
+        const auto greedy = layouts.find(AlignerKind::Greedy);
+        if (greedy == layouts.end())
+            continue;
+        for (const AlignerKind candidate :
+             {AlignerKind::Cost, AlignerKind::Try15}) {
+            const auto found = layouts.find(candidate);
+            if (found == layouts.end())
+                continue;
+            lintCostMonotone(program, model, greedy->second,
+                             alignerKindName(AlignerKind::Greedy),
+                             found->second, alignerKindName(candidate),
+                             options.lint, report.diagnostics);
+            ++report.costPairsChecked;
+        }
+    }
+    return report;
+}
+
+std::string
+formatLintReport(const LintReport &report, const std::string &programName)
+{
+    std::ostringstream out;
+    for (const Diagnostic &diagnostic : report.diagnostics)
+        out << formatDiagnostic(diagnostic) << "\n";
+    out << "lint: " << programName << ": " << report.errors()
+        << " error(s), " << report.warnings() << " warning(s), "
+        << report.count(Severity::Note) << " note(s); "
+        << report.layoutsChecked << " layout(s) and "
+        << report.costPairsChecked << " cost pair(s) checked\n";
+    return out.str();
+}
+
+void
+writeLintReportJson(const LintReport &report,
+                    const std::string &programName, std::ostream &os)
+{
+    os << "{\"program\":\"";
+    for (const char c : programName) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << "\",\"clean\":" << (report.clean() ? "true" : "false")
+       << ",\"errors\":" << report.errors()
+       << ",\"warnings\":" << report.warnings()
+       << ",\"notes\":" << report.count(Severity::Note)
+       << ",\"layoutsChecked\":" << report.layoutsChecked
+       << ",\"costPairsChecked\":" << report.costPairsChecked
+       << ",\"diagnostics\":[";
+    for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+        if (i > 0)
+            os << ',';
+        writeDiagnosticJson(report.diagnostics[i], os);
+    }
+    os << "]}";
+}
+
+}  // namespace balign

@@ -1,0 +1,72 @@
+#include "lint/rules.h"
+
+namespace balign {
+
+const std::vector<RuleInfo> &
+allLintRules()
+{
+    static const std::vector<RuleInfo> rules = {
+        // CFG well-formedness.
+        {"cfg.entry", Severity::Error,
+         "program main and every procedure entry exist"},
+        {"cfg.edge-targets", Severity::Error,
+         "edge endpoints in range and cross-indexed by both blocks"},
+        {"cfg.terminator-arity", Severity::Error,
+         "out-edge kinds and counts match the block terminator"},
+        {"cfg.call-site", Severity::Error,
+         "call sites reference existing procedures and precede the "
+         "terminator slot"},
+        {"cfg.block-size", Severity::Error,
+         "every block has at least one instruction"},
+        {"cfg.unreachable-block", Severity::Warning,
+         "block cannot be reached from its procedure entry"},
+        {"cfg.dead-end", Severity::Warning,
+         "non-return block has no successor (walk unwinds silently)"},
+
+        // Profile consistency.
+        {"prof.flow-conservation", Severity::Error,
+         "per-block edge inflow equals outflow (modulo entry/exit and "
+         "truncated-walk slack)"},
+        {"prof.unreachable-weight", Severity::Error,
+         "profile weight on an edge no walk could reach"},
+        {"prof.uncalled-proc", Severity::Error,
+         "profile weight inside a procedure no call site references"},
+        {"prof.bias-range", Severity::Error,
+         "edge bias is a probability in [0, 1]"},
+
+        // Layout legality.
+        {"layout.entry-first", Severity::Error,
+         "layout order starts with the procedure entry block"},
+        {"layout.permutation", Severity::Error,
+         "layout order is a permutation of all blocks"},
+        {"layout.addresses", Severity::Error,
+         "addresses strictly monotone, gap-free and contiguous across "
+         "procedures"},
+        {"layout.sizes", Severity::Error,
+         "final/base sizes and branch/jump addresses agree with the "
+         "transformation flags"},
+        {"layout.branch-polarity", Severity::Error,
+         "conditional realization agrees with layout adjacency"},
+        {"layout.jump-needed", Severity::Error,
+         "unconditional jumps inserted exactly where required and removed "
+         "where adjacent"},
+
+        // Cost-model relations.
+        {"cost.monotone", Severity::Error,
+         "cost-aware layouts never model-cost more than the Greedy "
+         "baseline (Table 1 recomputation)"},
+    };
+    return rules;
+}
+
+const RuleInfo *
+findLintRule(std::string_view id)
+{
+    for (const RuleInfo &rule : allLintRules()) {
+        if (id == rule.id)
+            return &rule;
+    }
+    return nullptr;
+}
+
+}  // namespace balign

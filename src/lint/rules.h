@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Lint rule registry and the rule functions themselves.
+ *
+ * Every rule has a stable string id (pinned by the injection tests in
+ * tests/test_lint.cc), a default severity and a one-line summary. The
+ * rules are grouped by the artifact they verify:
+ *
+ *  - cfg.*     Program structure alone (no profile, no layout).
+ *  - prof.*    The edge profile recorded into the Program.
+ *  - layout.*  A concrete ProgramLayout against its Program.
+ *  - cost.*    Cost-model relations between whole layouts.
+ *
+ * Rule functions APPEND diagnostics; they never clear the sink. All rules
+ * other than cost.monotone are pure structural scans — no trace is
+ * replayed and no layout is built by the rule itself.
+ */
+
+#ifndef BALIGN_LINT_RULES_H
+#define BALIGN_LINT_RULES_H
+
+#include <string_view>
+#include <vector>
+
+#include "bpred/cost_model.h"
+#include "cfg/program.h"
+#include "layout/layout_result.h"
+#include "lint/diagnostic.h"
+
+namespace balign {
+
+/// Registry entry for one rule.
+struct RuleInfo
+{
+    const char *id;
+    Severity severity;
+    const char *summary;
+};
+
+/// Every rule the linter knows, in catalog order.
+const std::vector<RuleInfo> &allLintRules();
+
+/// Looks up a rule by id; nullptr when unknown.
+const RuleInfo *findLintRule(std::string_view id);
+
+/// Tunables for the profile and cost rules.
+struct LintOptions
+{
+    /**
+     * Allowed program-wide profile-flow excess (sum over interior blocks
+     * of inflow - outflow). A truncated walk leaves one unfinished
+     * activation per call-stack frame, so the bound defaults to the
+     * walker's depth cap plus the final block.
+     */
+    Weight flowSlack = 65;
+
+    /// Relative tolerance for cost.monotone comparisons (floating-point
+    /// summation noise only; a real regression exceeds this by orders of
+    /// magnitude).
+    double costRelTolerance = 1e-9;
+};
+
+// ---------------------------------------------------------------------
+// cfg.* — CFG well-formedness.
+
+/// Runs every cfg.* rule over @p program.
+void lintCfg(const Program &program, std::vector<Diagnostic> &sink);
+
+// ---------------------------------------------------------------------
+// prof.* — edge-profile consistency. Meaningful after profiling; all
+// rules pass vacuously on an unprofiled (all-zero-weight) program.
+
+/// Runs every prof.* rule over @p program.
+void lintProfile(const Program &program, const LintOptions &options,
+                 std::vector<Diagnostic> &sink);
+
+// ---------------------------------------------------------------------
+// layout.* — legality of one materialized layout. @p arch / @p aligner
+// are attached to the diagnostics as context (may be empty).
+
+/// Runs every layout.* rule over (@p program, @p layout).
+void lintLayout(const Program &program, const ProgramLayout &layout,
+                const std::string &arch, const std::string &aligner,
+                std::vector<Diagnostic> &sink);
+
+// ---------------------------------------------------------------------
+// cost.* — cost-model monotonicity. The candidate layout (Cost / Try15)
+// must not model-cost more than the baseline (Greedy) under the same
+// architecture cost model; both costs are recomputed independently by
+// bpred/static_cost.h, not read from any aligner.
+
+/// Checks modeled cost of @p candidate against @p baseline.
+void lintCostMonotone(const Program &program, const CostModel &model,
+                      const ProgramLayout &baseline,
+                      const char *baselineName,
+                      const ProgramLayout &candidate,
+                      const char *candidateName, const LintOptions &options,
+                      std::vector<Diagnostic> &sink);
+
+}  // namespace balign
+
+#endif  // BALIGN_LINT_RULES_H

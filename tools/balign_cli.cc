@@ -37,6 +37,17 @@
  *       Replay one repro (or any serialized program) through the
  *       differential oracle; prints the divergence or "no divergence".
  *
+ *   balign lint <FILE>... [--json] [--instrs N] [--seed S]
+ *   balign lint --suite [--json] [--instrs N] [--seed S]
+ *       Statically verify programs without replaying traces: CFG
+ *       well-formedness, profile flow conservation, layout legality for
+ *       every aligner x architecture pair, and cost-model monotonicity.
+ *       Programs are profiled first (the prof.* rules read recorded edge
+ *       weights); repro files reuse their embedded walk parameters.
+ *       --suite lints all 24 benchmark models instead of files. --json
+ *       emits one machine-readable report array on stdout. Exit status 1
+ *       when any program has lint errors.
+ *
  * Architectures: fallthrough btfnt likely pht gshare btb-small btb-large.
  * Algorithms: greedy cost try15.
  */
@@ -54,6 +65,7 @@
 #include "core/align_program.h"
 #include "core/unroll.h"
 #include "layout/materialize.h"
+#include "lint/lint.h"
 #include "sim/runner.h"
 #include "support/log.h"
 #include "support/table.h"
@@ -81,6 +93,8 @@ struct Args
     Weight minWeight = 1000;
     std::size_t groupSize = 15;
     ProcId procId = 0;
+    bool suite = false;
+    bool json = false;
 };
 
 Args
@@ -117,6 +131,10 @@ parseArgs(int argc, char **argv)
         else if (arg == "--proc")
             args.procId =
                 static_cast<ProcId>(std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--suite")
+            args.suite = true;
+        else if (arg == "--json")
+            args.json = true;
         else if (!arg.empty() && arg[0] == '-')
             fatal("unknown option '%s'", arg.c_str());
         else
@@ -396,6 +414,68 @@ cmdRepro(const Args &args)
     return 1;
 }
 
+int
+cmdLint(const Args &args)
+{
+    // (name, profiled program) pairs to verify.
+    std::vector<std::pair<std::string, Program>> inputs;
+    auto profile_with = [](Program &program, std::uint64_t seed,
+                           std::uint64_t budget) {
+        program.clearWeights();
+        Profiler profiler(program);
+        WalkOptions walk_options;
+        walk_options.seed = seed;
+        walk_options.instrBudget = budget;
+        walk(program, walk_options, profiler);
+    };
+
+    if (args.suite) {
+        for (const ProgramSpec &spec : benchmarkSuite()) {
+            Program program = generateProgram(spec);
+            profile_with(program, args.seed, args.instrs);
+            inputs.emplace_back(program.name(), std::move(program));
+        }
+    } else {
+        if (args.positional.empty())
+            fatal("lint: need input files or --suite");
+        for (const std::string &path : args.positional) {
+            std::optional<Repro> repro = loadRepro(path);
+            if (!repro.has_value())
+                fatal("lint: cannot load %s", path.c_str());
+            if (args.instrsSet)
+                repro->walk.instrBudget = args.instrs;
+            profile_with(repro->program, repro->walk.seed,
+                         repro->walk.instrBudget);
+            inputs.emplace_back(path, std::move(repro->program));
+        }
+    }
+
+    std::size_t total_errors = 0;
+    std::size_t total_warnings = 0;
+    bool first = true;
+    if (args.json)
+        std::cout << "[\n";
+    for (const auto &[name, program] : inputs) {
+        const LintReport report = lintProgram(program);
+        total_errors += report.errors();
+        total_warnings += report.warnings();
+        if (args.json) {
+            if (!first)
+                std::cout << ",\n";
+            writeLintReportJson(report, name, std::cout);
+        } else {
+            std::cout << formatLintReport(report, name);
+        }
+        first = false;
+    }
+    if (args.json)
+        std::cout << "\n]\n";
+    else
+        std::printf("lint: %zu program(s): %zu error(s), %zu warning(s)\n",
+                    inputs.size(), total_errors, total_warnings);
+    return total_errors == 0 ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -411,7 +491,8 @@ usage()
         "  unroll <FILE> [--factor K] [-o FILE]       duplicate hot loops\n"
         "  dot <FILE> [--proc N]                      Graphviz output\n"
         "  fuzz [--seeds N] [--instrs N] [-o DIR]     differential fuzzing\n"
-        "  repro <FILE> [--instrs N]                  replay one repro\n");
+        "  repro <FILE> [--instrs N]                  replay one repro\n"
+        "  lint <FILE>...|--suite [--json]            static verification\n");
 }
 
 }  // namespace
@@ -443,6 +524,8 @@ main(int argc, char **argv)
         return cmdFuzz(args);
     if (command == "repro")
         return cmdRepro(args);
+    if (command == "lint")
+        return cmdLint(args);
     usage();
     return 2;
 }

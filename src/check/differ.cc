@@ -43,13 +43,24 @@ allAlignerKinds()
     return kinds;
 }
 
+const std::vector<AlignerKind> &
+allAlignerKindsExtended()
+{
+    static const std::vector<AlignerKind> kinds = {
+        AlignerKind::Original, AlignerKind::Greedy, AlignerKind::Cost,
+        AlignerKind::Try15,    AlignerKind::ExtTsp,
+    };
+    return kinds;
+}
+
 std::string
 formatDivergence(const Divergence &divergence)
 {
     std::ostringstream out;
     out << "DIVERGENCE [" << divergenceKindName(divergence.kind) << "] "
         << archName(divergence.arch) << "/"
-        << alignerKindName(divergence.aligner);
+        << alignerKindName(divergence.aligner)
+        << " objective=" << objectiveKindName(divergence.objective);
     if (!divergence.program.empty())
         out << " program=" << divergence.program;
     out << "\n" << divergence.detail;
@@ -265,26 +276,35 @@ diffPrepared(const PreparedProgram &prepared, const DiffOptions &options)
         options.archs.empty() ? allArchs() : options.archs;
     const std::vector<AlignerKind> &kinds =
         options.kinds.empty() ? allAlignerKinds() : options.kinds;
+    const std::vector<ObjectiveKind> objectives =
+        options.objectives.empty()
+            ? std::vector<ObjectiveKind>{options.align.objective}
+            : options.objectives;
 
     std::vector<Divergence> divergences;
-    for (const AlignerKind kind : kinds) {
-        for (const Arch arch : archs) {
-            // Mirror runConfigs: per-architecture cost model, and the
-            // BT/FNT chain-ordering override that makes even Greedy
-            // layouts architecture-specific under BT/FNT.
-            const CostModel model(arch);
-            AlignOptions arch_options = options.align;
-            if (arch == Arch::BtFnt)
-                arch_options.chainOrder = ChainOrderPolicy::BtFntPrecedence;
-            const ProgramLayout layout = alignProgram(
-                prepared.program, kind, &model, arch_options);
-            std::optional<Divergence> divergence =
-                diffLayout(prepared, layout, arch, kind);
-            if (divergence.has_value()) {
-                divergences.push_back(std::move(*divergence));
-                if (options.maxDivergences != 0 &&
-                    divergences.size() >= options.maxDivergences)
-                    return divergences;
+    for (const ObjectiveKind objective : objectives) {
+        for (const AlignerKind kind : kinds) {
+            for (const Arch arch : archs) {
+                // Mirror runConfigs: per-architecture cost model, and the
+                // BT/FNT chain-ordering override that makes even Greedy
+                // layouts architecture-specific under BT/FNT.
+                const CostModel model(arch);
+                AlignOptions arch_options = options.align;
+                arch_options.objective = objective;
+                if (arch == Arch::BtFnt)
+                    arch_options.chainOrder =
+                        ChainOrderPolicy::BtFntPrecedence;
+                const ProgramLayout layout = alignProgram(
+                    prepared.program, kind, &model, arch_options);
+                std::optional<Divergence> divergence =
+                    diffLayout(prepared, layout, arch, kind);
+                if (divergence.has_value()) {
+                    divergence->objective = objective;
+                    divergences.push_back(std::move(*divergence));
+                    if (options.maxDivergences != 0 &&
+                        divergences.size() >= options.maxDivergences)
+                        return divergences;
+                }
             }
         }
     }

@@ -53,6 +53,9 @@ struct Divergence
     DivergenceKind kind = DivergenceKind::Event;
     Arch arch = Arch::Fallthrough;
     AlignerKind aligner = AlignerKind::Original;
+    /// Alignment objective that was active when the finding was made
+    /// (layouts differ per objective, so a repro needs it).
+    ObjectiveKind objective = ObjectiveKind::TableCost;
     std::string program;  ///< program name (may be empty)
     std::string detail;   ///< full context, multi-line
 };
@@ -67,8 +70,13 @@ struct DiffOptions
     std::vector<Arch> archs;
     /// Aligners to check (empty = Original, Greedy, Cost, Try15).
     std::vector<AlignerKind> kinds;
+    /// Alignment objectives to sweep; each objective realigns every
+    /// configured (architecture, aligner) pair under its own prices
+    /// (empty = just align.objective).
+    std::vector<ObjectiveKind> objectives;
     /// Alignment options (the BT/FNT chain-order override is applied on
-    /// top, exactly as runConfigs does).
+    /// top, exactly as runConfigs does; the objective field is overridden
+    /// by the `objectives` sweep).
     AlignOptions align;
     /// Stop after this many divergences (0 = collect all).
     std::size_t maxDivergences = 1;
@@ -79,6 +87,11 @@ const std::vector<Arch> &allArchs();
 
 /// The aligners the paper studies (including the identity layout).
 const std::vector<AlignerKind> &allAlignerKinds();
+
+/// allAlignerKinds() plus the post-paper ExtTsp aligner — the sweep the
+/// fuzzer and corpus replay use. Kept separate so the paper-scoped suite
+/// goldens (lint reports, experiment tables) stay pinned to four kinds.
+const std::vector<AlignerKind> &allAlignerKindsExtended();
 
 /**
  * Compares two branch-sample streams. Returns an empty string when they

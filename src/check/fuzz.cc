@@ -628,39 +628,55 @@ loadRepro(const std::string &path)
 std::optional<Divergence>
 lintGateCheck(const Program &program, const DiffOptions &options)
 {
-    LintRunOptions run;
-    run.archs = options.archs;
-    run.kinds = options.kinds;
-    run.align = options.align;
-    const LintReport report = lintProgram(program, run);
-    if (report.clean())
-        return std::nullopt;
+    const std::vector<ObjectiveKind> objectives =
+        options.objectives.empty()
+            ? std::vector<ObjectiveKind>{options.align.objective}
+            : options.objectives;
+    for (const ObjectiveKind objective : objectives) {
+        LintRunOptions run;
+        run.archs = options.archs;
+        run.kinds = options.kinds;
+        run.align = options.align;
+        run.align.objective = objective;
+        const LintReport report = lintProgram(program, run);
+        if (report.clean())
+            continue;
 
-    Divergence divergence;
-    divergence.kind = DivergenceKind::Lint;
-    divergence.program = program.name();
-    std::ostringstream detail;
-    for (const Diagnostic &diagnostic : report.diagnostics) {
-        if (diagnostic.severity == Severity::Error)
-            detail << "  " << formatDiagnostic(diagnostic) << "\n";
+        Divergence divergence;
+        divergence.kind = DivergenceKind::Lint;
+        divergence.objective = objective;
+        divergence.program = program.name();
+        std::ostringstream detail;
+        for (const Diagnostic &diagnostic : report.diagnostics) {
+            if (diagnostic.severity == Severity::Error)
+                detail << "  " << formatDiagnostic(diagnostic) << "\n";
+        }
+        divergence.detail = detail.str();
+        return divergence;
     }
-    divergence.detail = detail.str();
-    return divergence;
+    return std::nullopt;
 }
 
 FuzzReport
 runFuzz(const FuzzOptions &options)
 {
     FuzzReport report;
-    const std::size_t archs = options.diff.archs.empty()
-                                  ? allArchs().size()
-                                  : options.diff.archs.size();
-    const std::size_t kinds = options.diff.kinds.empty()
-                                  ? allAlignerKinds().size()
-                                  : options.diff.kinds.size();
 
+    // The fuzzer sweeps wider than the paper-scoped defaults: every
+    // aligner including ExtTsp, under every objective, so a finding
+    // records which objective shaped the diverging layout.
     DiffOptions first_only = options.diff;
     first_only.maxDivergences = 1;
+    if (first_only.kinds.empty())
+        first_only.kinds = allAlignerKindsExtended();
+    if (first_only.objectives.empty())
+        first_only.objectives = allObjectiveKinds();
+
+    const std::size_t archs = first_only.archs.empty()
+                                  ? allArchs().size()
+                                  : first_only.archs.size();
+    const std::size_t kinds = first_only.kinds.size();
+    const std::size_t objectives = first_only.objectives.size();
 
     // One seed's full check: profile once, lint first (cheap, static),
     // then the differential oracle on the same prepared program.
@@ -699,7 +715,7 @@ runFuzz(const FuzzOptions &options)
             run_seed(i);
     }
     report.programsRun = options.seeds;
-    report.configsChecked = options.seeds * archs * kinds;
+    report.configsChecked = options.seeds * archs * kinds * objectives;
 
     for (std::size_t i = 0; i < options.seeds; ++i) {
         if (!found[i].has_value())

@@ -66,7 +66,10 @@ struct FuzzOptions
     std::uint64_t seeds = 100;      ///< number of seeds to run
     std::uint64_t firstSeed = 1;    ///< first seed value
     std::uint64_t walkInstrs = 20'000;  ///< per-seed instruction budget
-    DiffOptions diff;               ///< configurations to sweep
+    /// Configurations to sweep. Unlike diffPrepared, empty kinds /
+    /// objectives here widen to allAlignerKindsExtended() and every
+    /// objective — the fuzzer's job is the full matrix.
+    DiffOptions diff;
     /// Directory for shrunk repro files (empty = do not save).
     std::string corpusDir;
     /// Parallelize seeds across this pool (null = serial).

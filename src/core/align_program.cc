@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <utility>
 
-#include "bpred/static_cost.h"
 #include "layout/materialize.h"
 #include "support/log.h"
 
@@ -34,23 +33,26 @@ rebaseProc(ProcLayout &proc, Addr base)
 
 /**
  * Per-procedure monotone fallback: keeps whichever of the candidate and
- * baseline procedure layouts has the lower modelled branch cost, then
- * re-bases the spliced procedures contiguously. Modelled cost is purely
- * intra-procedural (conditional direction compares same-procedure
- * addresses; jump costs are weight constants), so the splice's total cost
- * is the sum of the per-procedure minima — never above the baseline's.
+ * baseline procedure layouts has the lower objective price, then re-bases
+ * the spliced procedures contiguously. Every AlignmentObjective is purely
+ * intra-procedural (Table-1 conditional direction compares same-procedure
+ * addresses and jump costs are weight constants; ExtTSP reads only
+ * intra-procedural distances), so procedure prices are invariant under the
+ * re-basing and the splice's total price is the sum of the per-procedure
+ * minima — never above the baseline's. DESIGN.md §9 spells out this
+ * contract.
  */
 ProgramLayout
 cheaperPerProc(const Program &program, ProgramLayout candidate,
-               ProgramLayout baseline, const CostModel &model)
+               ProgramLayout baseline, const AlignmentObjective &objective)
 {
     Addr base = 0;
     for (const auto &proc : program.procs()) {
         const ProcId id = proc.id();
         const double candidate_cost =
-            modeledBranchCost(proc, candidate.procs[id], model);
+            objective.layoutCost(proc, candidate.procs[id]);
         const double baseline_cost =
-            modeledBranchCost(proc, baseline.procs[id], model);
+            objective.layoutCost(proc, baseline.procs[id]);
         if (baseline_cost < candidate_cost)
             candidate.procs[id] = std::move(baseline.procs[id]);
         rebaseProc(candidate.procs[id], base);
@@ -113,17 +115,21 @@ alignProgram(const Program &program, AlignerKind kind, const CostModel *model,
         return originalLayout(program);
     const auto aligner = makeAligner(kind, model, options);
     ProgramLayout layout = alignProgram(program, *aligner, model, options);
-    // Cost-guided aligners place chains from direction *hints*; once the
-    // true addresses are fixed a hint can turn out wrong and leave the
-    // result marginally costlier than the plain greedy chains. Fall back
-    // per procedure so the modelled cost is never worse than greedy's —
-    // the invariant lint's cost.monotone rule enforces.
-    if (kind != AlignerKind::Greedy &&
-        aligner->wantsCostModelMaterialization() && model != nullptr) {
+    // Objective-guided aligners place chains from incomplete information
+    // (direction *hints* for Table-1, merge-time distances for ExtTSP);
+    // once the true addresses are fixed a decision can turn out wrong and
+    // leave the result marginally pricier than the plain greedy chains.
+    // Fall back per procedure so the objective price is never worse than
+    // greedy's — the invariant lint's cost.monotone rule enforces.
+    const bool can_price = options.objective != ObjectiveKind::TableCost ||
+                           model != nullptr;
+    if (kind != AlignerKind::Greedy && aligner->objectiveGuided() &&
+        can_price) {
+        const auto objective = makeObjective(options.objective, model);
         ProgramLayout greedy =
             alignProgram(program, AlignerKind::Greedy, model, options);
         layout = cheaperPerProc(program, std::move(layout),
-                                std::move(greedy), *model);
+                                std::move(greedy), *objective);
     }
     return layout;
 }

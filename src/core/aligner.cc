@@ -1,10 +1,10 @@
 #include "core/aligner.h"
 
-#include <algorithm>
-
 #include "core/cost_align.h"
+#include "core/exttsp_align.h"
 #include "core/greedy.h"
 #include "core/try15.h"
+#include "objective/table_cost.h"
 #include "support/log.h"
 
 namespace balign {
@@ -17,6 +17,7 @@ alignerKindName(AlignerKind kind)
       case AlignerKind::Greedy: return "greedy";
       case AlignerKind::Cost: return "cost";
       case AlignerKind::Try15: return "try15";
+      case AlignerKind::ExtTsp: return "exttsp";
     }
     return "?";
 }
@@ -25,61 +26,7 @@ double
 blockAlignCost(const Procedure &proc, const CostModel &model, BlockId id,
                BlockId next, const DirOracle &oracle, BlockId prev)
 {
-    auto idDir = [&](BlockId target, BlockId src) {
-        if (target == prev && prev != kNoBlock)
-            return DirHint::Backward;  // chain predecessor: placed before
-        return oracle.dir(target, src);
-    };
-    const BasicBlock &block = proc.block(id);
-    switch (block.term) {
-      case Terminator::CondBranch: {
-        const Edge &taken =
-            proc.edge(static_cast<std::uint32_t>(proc.takenEdge(id)));
-        const Edge &fall =
-            proc.edge(static_cast<std::uint32_t>(proc.fallThroughEdge(id)));
-        const DirHint dir_taken = idDir(taken.dst, id);
-        const DirHint dir_fall = idDir(fall.dst, id);
-        if (next == fall.dst) {
-            return model.condRealizationCost(taken.weight, fall.weight,
-                                             CondRealization::FallAdjacent,
-                                             dir_taken, dir_fall);
-        }
-        if (next == taken.dst) {
-            return model.condRealizationCost(taken.weight, fall.weight,
-                                             CondRealization::TakenAdjacent,
-                                             dir_taken, dir_fall);
-        }
-        // Unlinked (or linked to a non-successor, which chains never do):
-        // the materializer will pick the cheaper branch-plus-jump form.
-        const double to_fall = model.condRealizationCost(
-            taken.weight, fall.weight, CondRealization::NeitherJumpToFall,
-            dir_taken, dir_fall);
-        const double to_taken = model.condRealizationCost(
-            taken.weight, fall.weight, CondRealization::NeitherJumpToTaken,
-            dir_taken, dir_fall);
-        return std::min(to_fall, to_taken);
-      }
-      case Terminator::UncondBranch: {
-        const Edge &taken =
-            proc.edge(static_cast<std::uint32_t>(proc.takenEdge(id)));
-        if (next == taken.dst)
-            return model.singleExitAdjacentCost();
-        return model.singleExitJumpCost(taken.weight);
-      }
-      case Terminator::FallThrough: {
-        const std::int64_t fall_index = proc.fallThroughEdge(id);
-        if (fall_index < 0)
-            return 0.0;
-        const Edge &fall = proc.edge(static_cast<std::uint32_t>(fall_index));
-        if (next == fall.dst)
-            return model.singleExitAdjacentCost();
-        return model.singleExitJumpCost(fall.weight);
-      }
-      case Terminator::IndirectJump:
-      case Terminator::Return:
-        return 0.0;  // alignment cannot change these
-    }
-    panic("blockAlignCost: bad terminator");
+    return TableCostObjective(model).blockCost(proc, id, next, oracle, prev);
 }
 
 std::unique_ptr<Aligner>
@@ -92,13 +39,19 @@ makeAligner(AlignerKind kind, const CostModel *model,
       case AlignerKind::Greedy:
         return std::make_unique<GreedyAligner>();
       case AlignerKind::Cost:
-        if (model == nullptr)
+        if (options.objective == ObjectiveKind::TableCost && model == nullptr)
             panic("makeAligner: Cost aligner needs a cost model");
-        return std::make_unique<CostAligner>(*model);
+        return std::make_unique<CostAligner>(
+            makeObjective(options.objective, model));
       case AlignerKind::Try15:
-        if (model == nullptr)
+        if (options.objective == ObjectiveKind::TableCost && model == nullptr)
             panic("makeAligner: Try15 aligner needs a cost model");
-        return std::make_unique<Try15Aligner>(*model, options);
+        return std::make_unique<Try15Aligner>(
+            makeObjective(options.objective, model), options);
+      case AlignerKind::ExtTsp:
+        // ExtTSP chains by its own score regardless of options.objective,
+        // which still governs materialization and the fallback splice.
+        return std::make_unique<ExtTspAligner>();
     }
     panic("makeAligner: bad kind");
 }

@@ -1,13 +1,14 @@
 /**
  * @file
- * Branch-alignment algorithm interface (paper §4) and the shared
- * cost-estimation helper all cost-aware aligners use.
+ * Branch-alignment algorithm interface (paper §4).
  *
  * An aligner decides, per procedure, which CFG edges become realized
- * fall-throughs (the chain structure). Chain ordering and binary
- * materialization are separate stages (layout/chain_order.h,
- * layout/materialize.h); the program-level driver in align_program.h wires
- * everything together.
+ * fall-throughs (the chain structure). What makes one chain better than
+ * another is the pluggable AlignmentObjective (objective/objective.h):
+ * the paper's Table-1 cost model by default, or the ExtTSP score. Chain
+ * ordering and binary materialization are separate stages
+ * (layout/chain_order.h, layout/materialize.h); the program-level driver
+ * in align_program.h wires everything together.
  */
 
 #ifndef BALIGN_CORE_ALIGNER_H
@@ -20,15 +21,18 @@
 #include "cfg/procedure.h"
 #include "layout/chain.h"
 #include "layout/chain_order.h"
+#include "objective/objective.h"
 
 namespace balign {
 
-/// The alignment algorithms studied in the paper.
+/// The alignment algorithms studied in the paper, plus the modern ExtTSP
+/// chain merger they are compared against.
 enum class AlignerKind : std::uint8_t {
     Original,  ///< identity layout (no reordering)
     Greedy,    ///< Pettis & Hansen bottom-up chaining
-    Cost,      ///< greedy chaining guided by the architecture cost model
+    Cost,      ///< greedy chaining guided by the active objective
     Try15,     ///< group-exhaustive search over the hottest edges
+    ExtTsp,    ///< chain merging by ExtTSP gain (arXiv:1809.04676)
 };
 
 /// Printable kind name.
@@ -37,6 +41,10 @@ const char *alignerKindName(AlignerKind kind);
 /// Options shared by the aligners and the program driver.
 struct AlignOptions
 {
+    /// Objective the Cost/TryN chain searches and the per-procedure
+    /// fallback splice price decisions under (objective/objective.h).
+    ObjectiveKind objective = ObjectiveKind::TableCost;
+
     /// Chain concatenation policy (paper §6.1; hot-first is the default
     /// used for all simulations except the dedicated BT/FNT ordering).
     ChainOrderPolicy chainOrder = ChainOrderPolicy::HotFirst;
@@ -70,46 +78,10 @@ struct AlignOptions
 };
 
 /**
- * Direction oracle for alignment-time cost estimation. Without a position
- * table it falls back to original block ids (approximate source order); a
- * position table from a previous layout iteration gives exact hints for
- * that layout.
- */
-class DirOracle
-{
-  public:
-    DirOracle() = default;
-    explicit DirOracle(const std::vector<std::uint32_t> *positions)
-        : positions_(positions)
-    {
-    }
-
-    DirHint
-    dir(BlockId target, BlockId src) const
-    {
-        if (positions_ == nullptr)
-            return target <= src ? DirHint::Backward : DirHint::Forward;
-        return (*positions_)[target] <= (*positions_)[src]
-                   ? DirHint::Backward
-                   : DirHint::Forward;
-    }
-
-  private:
-    const std::vector<std::uint32_t> *positions_ = nullptr;
-};
-
-/**
- * Estimated branch cost (cycles) of block @p id under the cost model, given
- * its current chain successor @p next (kNoBlock when unlinked) and chain
- * predecessor @p prev.
- *
- * Direction hints come from @p oracle (original block ids by default,
- * approximating source order), except that a successor equal to @p prev is
- * known to be BACKWARD — the key signal that makes loop rotations (chain
- * [.., latch, head]) attractive under BT/FNT, where the inverted head
- * branch to the latch is predicted taken. An unlinked conditional block is
- * priced at its best branch-plus-jump realization, which is what the
- * cost-model-aware materializer will emit.
+ * Estimated Table-1 branch cost (cycles) of block @p id given its current
+ * chain successor @p next (kNoBlock when unlinked) and chain predecessor
+ * @p prev. Compatibility shim for TableCostObjective::blockCost — see
+ * objective/table_cost.h for the semantics.
  */
 double blockAlignCost(const Procedure &proc, const CostModel &model,
                       BlockId id, BlockId next,
@@ -123,7 +95,7 @@ class Aligner
   public:
     virtual ~Aligner() = default;
 
-    /// Human-readable name ("greedy", "cost", "try15").
+    /// Human-readable name ("greedy", "cost", "try15", "exttsp").
     virtual std::string name() const = 0;
 
     /// Builds chains for @p proc from its edge profile, with direction
@@ -139,13 +111,23 @@ class Aligner
     }
 
     /// True when the materializer should use the architecture cost model
-    /// (Cost and TryN; the Greedy baseline is cost-blind).
+    /// (Cost and TryN under the Table-1 objective; Greedy, ExtTSP and any
+    /// arch-independent objective are cost-blind).
     virtual bool wantsCostModelMaterialization() const = 0;
+
+    /// True when this aligner optimizes an objective, so the driver's
+    /// per-procedure fallback splice applies (never-worse-than-Greedy
+    /// under the active objective).
+    virtual bool objectiveGuided() const
+    {
+        return wantsCostModelMaterialization();
+    }
 };
 
 /**
- * Creates an aligner. @p model may be null only for Original/Greedy.
- * The model must outlive the aligner.
+ * Creates an aligner. The objective selected by @p options.objective
+ * guides Cost and TryN; @p model may be null except under the Table-1
+ * objective for those kinds. The model must outlive the aligner.
  */
 std::unique_ptr<Aligner> makeAligner(AlignerKind kind, const CostModel *model,
                                      const AlignOptions &options = {});

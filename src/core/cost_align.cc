@@ -1,15 +1,31 @@
 #include "core/cost_align.h"
 
 #include <limits>
+#include <utility>
 
 #include "core/greedy.h"
+#include "objective/table_cost.h"
+#include "support/log.h"
 
 namespace balign {
+
+CostAligner::CostAligner(const CostModel &model)
+    : objective_(std::make_unique<TableCostObjective>(model))
+{
+}
+
+CostAligner::CostAligner(std::unique_ptr<AlignmentObjective> objective)
+    : objective_(std::move(objective))
+{
+    if (objective_ == nullptr)
+        panic("CostAligner: null objective");
+}
 
 ChainSet
 CostAligner::alignProc(const Procedure &proc, const DirOracle &oracle) const
 {
     ChainSet chains(proc.numBlocks(), proc.entry());
+    const AlignmentObjective &objective = *objective_;
 
     for (std::uint32_t index : alignableEdgesByWeight(proc)) {
         const Edge &edge = proc.edge(index);
@@ -20,14 +36,13 @@ CostAligner::alignProc(const Procedure &proc, const DirOracle &oracle) const
 
         const BlockId src_prev = chains.prev(src);
         const double cost_unlinked =
-            blockAlignCost(proc, model_, src, kNoBlock, oracle, src_prev);
+            objective.blockCost(proc, src, kNoBlock, oracle, src_prev);
         // Linking also makes src the chain predecessor of dst.
         const double cost_linked =
-            blockAlignCost(proc, model_, src, dst, oracle, src_prev) +
-            blockAlignCost(proc, model_, dst, chains.next(dst), oracle,
-                           src) -
-            blockAlignCost(proc, model_, dst, chains.next(dst), oracle,
-                           chains.prev(dst));
+            objective.blockCost(proc, src, dst, oracle, src_prev) +
+            objective.blockCost(proc, dst, chains.next(dst), oracle, src) -
+            objective.blockCost(proc, dst, chains.next(dst), oracle,
+                                chains.prev(dst));
 
         // Option: link the sibling edge instead (conditional blocks only).
         double cost_sibling = std::numeric_limits<double>::infinity();
@@ -40,9 +55,8 @@ CostAligner::alignProc(const Procedure &proc, const DirOracle &oracle) const
                                       ? proc.edge(fall_index)
                                       : proc.edge(taken_index);
             if (chains.canLink(src, sibling.dst)) {
-                cost_sibling = blockAlignCost(proc, model_, src,
-                                              sibling.dst, oracle,
-                                              src_prev);
+                cost_sibling = objective.blockCost(proc, src, sibling.dst,
+                                                   oracle, src_prev);
             }
         }
 
@@ -64,10 +78,10 @@ CostAligner::alignProc(const Procedure &proc, const DirOracle &oracle) const
             if (!chains.canLink(in_edge.src, dst))
                 continue;
             const BlockId pred_prev = chains.prev(in_edge.src);
-            const double pred_unlinked = blockAlignCost(
-                proc, model_, in_edge.src, kNoBlock, oracle, pred_prev);
-            const double pred_linked = blockAlignCost(
-                proc, model_, in_edge.src, dst, oracle, pred_prev);
+            const double pred_unlinked = objective.blockCost(
+                proc, in_edge.src, kNoBlock, oracle, pred_prev);
+            const double pred_linked = objective.blockCost(
+                proc, in_edge.src, dst, oracle, pred_prev);
             if (pred_unlinked - pred_linked > benefit) {
                 better_pred = true;
                 break;

@@ -3,7 +3,8 @@
  * The Cost alignment algorithm (paper §4).
  *
  * Like the Greedy algorithm, edges are visited in decreasing weight order,
- * but before linking S -> D the architecture cost model is consulted:
+ * but before linking S -> D the active alignment objective is consulted
+ * (the paper's Table-1 architecture cost model by default):
  *
  *  - the three possible realizations of a conditional source block are
  *    compared (link this edge, link the sibling edge, or link neither and
@@ -24,16 +25,28 @@ namespace balign {
 class CostAligner : public Aligner
 {
   public:
-    explicit CostAligner(const CostModel &model) : model_(model) {}
+    /// Aligns under the paper's Table-1 objective for @p model (which must
+    /// outlive the aligner).
+    explicit CostAligner(const CostModel &model);
+
+    /// Aligns under an arbitrary objective, taking ownership.
+    explicit CostAligner(std::unique_ptr<AlignmentObjective> objective);
 
     std::string name() const override { return "cost"; }
     using Aligner::alignProc;
     ChainSet alignProc(const Procedure &proc,
                        const DirOracle &oracle) const override;
-    bool wantsCostModelMaterialization() const override { return true; }
+    bool
+    wantsCostModelMaterialization() const override
+    {
+        return objective_->materializationModel() != nullptr;
+    }
+    bool objectiveGuided() const override { return true; }
+
+    const AlignmentObjective &objective() const { return *objective_; }
 
   private:
-    const CostModel &model_;
+    std::unique_ptr<AlignmentObjective> objective_;
 };
 
 }  // namespace balign

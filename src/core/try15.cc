@@ -3,11 +3,28 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <utility>
 
 #include "core/greedy.h"
+#include "objective/table_cost.h"
 #include "support/log.h"
 
 namespace balign {
+
+Try15Aligner::Try15Aligner(const CostModel &model,
+                           const AlignOptions &options)
+    : objective_(std::make_unique<TableCostObjective>(model)),
+      options_(options)
+{
+}
+
+Try15Aligner::Try15Aligner(std::unique_ptr<AlignmentObjective> objective,
+                           const AlignOptions &options)
+    : objective_(std::move(objective)), options_(options)
+{
+    if (objective_ == nullptr)
+        panic("Try15Aligner: null objective");
+}
 
 namespace {
 
@@ -27,11 +44,11 @@ struct GroupEdge
 class GroupSearch
 {
   public:
-    GroupSearch(const Procedure &proc, const CostModel &model,
+    GroupSearch(const Procedure &proc, const AlignmentObjective &objective,
                 ChainSet &chains, const std::vector<GroupEdge> &group,
                 const DirOracle &oracle)
         : proc_(proc),
-          model_(model),
+          objective_(objective),
           chains_(chains),
           group_(group),
           oracle_(oracle)
@@ -57,8 +74,8 @@ class GroupSearch
     double
     costOf(BlockId block) const
     {
-        return blockAlignCost(proc_, model_, block, chains_.next(block),
-                              oracle_, chains_.prev(block));
+        return objective_.blockCost(proc_, block, chains_.next(block),
+                                    oracle_, chains_.prev(block));
     }
 
     void
@@ -91,7 +108,7 @@ class GroupSearch
     }
 
     const Procedure &proc_;
-    const CostModel &model_;
+    const AlignmentObjective &objective_;
     ChainSet &chains_;
     const std::vector<GroupEdge> &group_;
     const DirOracle &oracle_;
@@ -150,7 +167,7 @@ Try15Aligner::alignProc(const Procedure &proc, const DirOracle &oracle) const
             break;
         ++groups;
 
-        GroupSearch search(proc, model_, chains, group, oracle);
+        GroupSearch search(proc, *objective_, chains, group, oracle);
         const std::uint32_t mask = search.bestMask();
         for (std::size_t i = 0; i < group.size(); ++i) {
             if ((mask & (1u << i)) == 0)
@@ -166,12 +183,11 @@ Try15Aligner::alignProc(const Procedure &proc, const DirOracle &oracle) const
         const Edge &edge = proc.edge(index);
         if (!chains.canLink(edge.src, edge.dst))
             continue;
-        const double unlinked =
-            blockAlignCost(proc, model_, edge.src, chains.next(edge.src),
-                           oracle, chains.prev(edge.src));
-        const double linked =
-            blockAlignCost(proc, model_, edge.src, edge.dst, oracle,
-                           chains.prev(edge.src));
+        const double unlinked = objective_->blockCost(
+            proc, edge.src, chains.next(edge.src), oracle,
+            chains.prev(edge.src));
+        const double linked = objective_->blockCost(
+            proc, edge.src, edge.dst, oracle, chains.prev(edge.src));
         if (linked <= unlinked)
             chains.link(edge.src, edge.dst);
     }

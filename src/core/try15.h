@@ -5,11 +5,12 @@
  * Exhaustive search balanced against time: the N most frequently executed
  * alignable edges are taken as a group and every consistent combination of
  * "realize this edge as a fall-through link" decisions is evaluated under
- * the architecture cost model; the minimum-cost combination is committed,
- * then the next N edges are processed, and so on. Per-node possibilities
- * match the paper: a single-exit block's edge may become a fall-through or
- * stay a taken jump; a conditional block may align either out-edge or
- * neither (branch plus inserted jump — the loop transformation).
+ * the active alignment objective (the paper's Table-1 architecture cost
+ * model by default); the minimum-cost combination is committed, then the
+ * next N edges are processed, and so on. Per-node possibilities match the
+ * paper: a single-exit block's edge may become a fall-through or stay a
+ * taken jump; a conditional block may align either out-edge or neither
+ * (branch plus inserted jump — the loop transformation).
  *
  * Edges executed fewer than minEdgeWeight times are ignored (paper §4), and
  * an optional cumulative-coverage cut (99% is suggested in the paper)
@@ -31,10 +32,13 @@ namespace balign {
 class Try15Aligner : public Aligner
 {
   public:
-    Try15Aligner(const CostModel &model, const AlignOptions &options)
-        : model_(model), options_(options)
-    {
-    }
+    /// Aligns under the paper's Table-1 objective for @p model (which must
+    /// outlive the aligner).
+    Try15Aligner(const CostModel &model, const AlignOptions &options);
+
+    /// Aligns under an arbitrary objective, taking ownership.
+    Try15Aligner(std::unique_ptr<AlignmentObjective> objective,
+                 const AlignOptions &options);
 
     std::string
     name() const override
@@ -45,12 +49,18 @@ class Try15Aligner : public Aligner
     using Aligner::alignProc;
     ChainSet alignProc(const Procedure &proc,
                        const DirOracle &oracle) const override;
-    bool wantsCostModelMaterialization() const override { return true; }
+    bool
+    wantsCostModelMaterialization() const override
+    {
+        return objective_->materializationModel() != nullptr;
+    }
+    bool objectiveGuided() const override { return true; }
 
     const AlignOptions &options() const { return options_; }
+    const AlignmentObjective &objective() const { return *objective_; }
 
   private:
-    const CostModel &model_;
+    std::unique_ptr<AlignmentObjective> objective_;
     AlignOptions options_;
 };
 

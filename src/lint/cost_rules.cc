@@ -1,24 +1,59 @@
 /**
  * @file
- * cost.* rules: cost-model monotonicity between whole layouts.
+ * cost.* rules: objective monotonicity between whole layouts.
  *
- * The paper's claim (Table 4 discussion) is that the cost-guided aligners
- * can never lose to the cost-blind Greedy baseline under the very model
- * they optimize: pricing both layouts with the Table 1 cost table and the
- * measured edge profile, cost(Cost) <= cost(Greedy) and cost(Try15) <=
- * cost(Greedy). The price is recomputed here by bpred/static_cost.h from
- * final addresses — independently of any aligner bookkeeping — so a
- * regression in either the aligners or the materializer trips the rule.
+ * The paper's claim (Table 4 discussion) is that the objective-guided
+ * aligners can never lose to the cost-blind Greedy baseline under the very
+ * objective they optimize: pricing both layouts with the active
+ * AlignmentObjective and the measured edge profile, price(candidate) <=
+ * price(greedy). Under the default Table-1 objective the price is the
+ * modeled cycle count recomputed by bpred/static_cost.h from final
+ * addresses — independently of any aligner bookkeeping — so a regression
+ * in either the aligners or the materializer trips the rule. Other
+ * objectives (ExtTSP) are priced by their own layoutCost, which the
+ * driver's fallback splice guarantees monotone too.
  */
 
 #include <sstream>
 #include <vector>
 
-#include "bpred/static_cost.h"
 #include "lint/emit.h"
 #include "lint/rules.h"
+#include "objective/table_cost.h"
 
 namespace balign {
+
+void
+lintCostMonotone(const Program &program, const AlignmentObjective &objective,
+                 const std::string &arch, const ProgramLayout &baseline,
+                 const char *baselineName, const ProgramLayout &candidate,
+                 const char *candidateName, const LintOptions &options,
+                 std::vector<Diagnostic> &sink)
+{
+    const double base_cost = objective.layoutCost(program, baseline);
+    const double cand_cost = objective.layoutCost(program, candidate);
+    // Relative-plus-absolute allowance: prices may be negative (ExtTSP) or
+    // near zero, so scale by magnitude.
+    const double magnitude = base_cost < 0 ? -base_cost : base_cost;
+    const double allowance =
+        magnitude * options.costRelTolerance + options.costRelTolerance;
+    if (cand_cost <= base_cost + allowance)
+        return;
+
+    std::ostringstream msg;
+    msg.precision(17);
+    msg << candidateName << " layout prices " << cand_cost << " under the "
+        << objective.name() << " objective, worse than the " << baselineName
+        << " baseline's " << base_cost << " on the same profile";
+    Diagnostic &diagnostic = lint_detail::emit(
+        sink, "cost.monotone", {}, msg.str(),
+        "an objective-guided aligner can always fall back to the baseline "
+        "chains; pricing more means its objective or the materializer "
+        "regressed");
+    diagnostic.arch = arch;
+    diagnostic.aligner = candidateName;
+    diagnostic.objective = objective.name();
+}
 
 void
 lintCostMonotone(const Program &program, const CostModel &model,
@@ -26,25 +61,9 @@ lintCostMonotone(const Program &program, const CostModel &model,
                  const ProgramLayout &candidate, const char *candidateName,
                  const LintOptions &options, std::vector<Diagnostic> &sink)
 {
-    const double base_cost = modeledBranchCost(program, baseline, model);
-    const double cand_cost = modeledBranchCost(program, candidate, model);
-    const double allowance =
-        base_cost * options.costRelTolerance + options.costRelTolerance;
-    if (cand_cost <= base_cost + allowance)
-        return;
-
-    std::ostringstream msg;
-    msg.precision(17);
-    msg << candidateName << " layout models " << cand_cost
-        << " cycles, worse than the " << baselineName << " baseline's "
-        << base_cost << " on the same profile";
-    Diagnostic &diagnostic = lint_detail::emit(
-        sink, "cost.monotone", {}, msg.str(),
-        "a cost-guided aligner can always fall back to the baseline "
-        "chains; costing more means its objective or the materializer "
-        "regressed");
-    diagnostic.arch = archName(model.arch());
-    diagnostic.aligner = candidateName;
+    const TableCostObjective objective(model);
+    lintCostMonotone(program, objective, archName(model.arch()), baseline,
+                     baselineName, candidate, candidateName, options, sink);
 }
 
 }  // namespace balign

@@ -35,6 +35,8 @@ formatDiagnostic(const Diagnostic &diagnostic)
             out << "/" << diagnostic.aligner;
         out << ")";
     }
+    if (!diagnostic.objective.empty())
+        out << " [objective=" << diagnostic.objective << "]";
     out << ": " << diagnostic.message;
     if (!diagnostic.hint.empty())
         out << "; fix: " << diagnostic.hint;
@@ -98,6 +100,13 @@ writeDiagnosticJson(const Diagnostic &diagnostic, std::ostream &os)
     writeJsonString(diagnostic.arch, os);
     os << ",\"aligner\":";
     writeJsonString(diagnostic.aligner, os);
+    // Older readers (and the pinned corpus goldens) predate the objective
+    // field; emit it only when set so objective-free reports are
+    // byte-identical to theirs.
+    if (!diagnostic.objective.empty()) {
+        os << ",\"objective\":";
+        writeJsonString(diagnostic.objective, os);
+    }
     os << ",\"message\":";
     writeJsonString(diagnostic.message, os);
     os << ",\"hint\":";

@@ -70,6 +70,9 @@ struct Diagnostic
     /// CFG and profile rules, which are layout-independent).
     std::string arch;
     std::string aligner;
+    /// Alignment objective the finding was priced under (cost rules only;
+    /// empty elsewhere, and omitted from the JSON rendering when empty).
+    std::string objective;
 };
 
 /// One-line text rendering:

@@ -37,6 +37,13 @@ lintProgram(const Program &program, const LintRunOptions &options)
     const std::vector<AlignerKind> &kinds =
         options.kinds.empty() ? allAlignerKinds() : options.kinds;
 
+    // Under an architecture-independent objective (ExtTSP) the prices are
+    // identical on every architecture, so cost.monotone is checked once
+    // instead of per architecture.
+    const bool arch_dependent_objective =
+        objectiveArchDependent(options.align.objective);
+    bool objective_priced = false;
+
     for (const Arch arch : archs) {
         // Mirror runConfigs: per-architecture cost model and the BT/FNT
         // chain-ordering override, so what gets linted is what the
@@ -56,20 +63,27 @@ lintProgram(const Program &program, const LintRunOptions &options)
 
         if (!options.costRules)
             continue;
+        if (!arch_dependent_objective && objective_priced)
+            continue;  // same prices on every architecture: already done
         const auto greedy = layouts.find(AlignerKind::Greedy);
         if (greedy == layouts.end())
             continue;
+        const auto objective = makeObjective(options.align.objective, &model);
+        const std::string arch_context =
+            objective->archDependent() ? archName(arch) : std::string();
         for (const AlignerKind candidate :
-             {AlignerKind::Cost, AlignerKind::Try15}) {
+             {AlignerKind::Cost, AlignerKind::Try15, AlignerKind::ExtTsp}) {
             const auto found = layouts.find(candidate);
             if (found == layouts.end())
                 continue;
-            lintCostMonotone(program, model, greedy->second,
+            lintCostMonotone(program, *objective, arch_context,
+                             greedy->second,
                              alignerKindName(AlignerKind::Greedy),
                              found->second, alignerKindName(candidate),
                              options.lint, report.diagnostics);
             ++report.costPairsChecked;
         }
+        objective_priced = true;
     }
     return report;
 }

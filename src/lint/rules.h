@@ -26,6 +26,7 @@
 #include "cfg/program.h"
 #include "layout/layout_result.h"
 #include "lint/diagnostic.h"
+#include "objective/objective.h"
 
 namespace balign {
 
@@ -84,12 +85,24 @@ void lintLayout(const Program &program, const ProgramLayout &layout,
                 std::vector<Diagnostic> &sink);
 
 // ---------------------------------------------------------------------
-// cost.* — cost-model monotonicity. The candidate layout (Cost / Try15)
-// must not model-cost more than the baseline (Greedy) under the same
-// architecture cost model; both costs are recomputed independently by
-// bpred/static_cost.h, not read from any aligner.
+// cost.* — objective monotonicity. A candidate layout (Cost / Try15 /
+// ExtTsp) must not price more than the baseline (Greedy) under the active
+// alignment objective; prices are recomputed independently by the
+// objective's layoutCost, not read from any aligner.
 
-/// Checks modeled cost of @p candidate against @p baseline.
+/// Checks the objective price of @p candidate against @p baseline.
+/// @p arch is diagnostic context only (empty for architecture-independent
+/// objectives).
+void lintCostMonotone(const Program &program,
+                      const AlignmentObjective &objective,
+                      const std::string &arch, const ProgramLayout &baseline,
+                      const char *baselineName,
+                      const ProgramLayout &candidate,
+                      const char *candidateName, const LintOptions &options,
+                      std::vector<Diagnostic> &sink);
+
+/// Table-1 convenience: prices under TableCostObjective(@p model) with the
+/// model's architecture as diagnostic context.
 void lintCostMonotone(const Program &program, const CostModel &model,
                       const ProgramLayout &baseline,
                       const char *baselineName,

@@ -1,0 +1,69 @@
+#include "objective/objective.h"
+
+#include "objective/exttsp.h"
+#include "objective/table_cost.h"
+#include "support/log.h"
+
+namespace balign {
+
+const char *
+objectiveKindName(ObjectiveKind kind)
+{
+    switch (kind) {
+      case ObjectiveKind::TableCost: return "table-cost";
+      case ObjectiveKind::ExtTsp: return "exttsp";
+    }
+    return "?";
+}
+
+std::optional<ObjectiveKind>
+parseObjectiveKind(std::string_view name)
+{
+    if (name == "table-cost" || name == "table" || name == "cost")
+        return ObjectiveKind::TableCost;
+    if (name == "exttsp" || name == "ext-tsp")
+        return ObjectiveKind::ExtTsp;
+    return std::nullopt;
+}
+
+const std::vector<ObjectiveKind> &
+allObjectiveKinds()
+{
+    static const std::vector<ObjectiveKind> kinds = {
+        ObjectiveKind::TableCost,
+        ObjectiveKind::ExtTsp,
+    };
+    return kinds;
+}
+
+bool
+objectiveArchDependent(ObjectiveKind kind)
+{
+    return kind == ObjectiveKind::TableCost;
+}
+
+double
+AlignmentObjective::layoutCost(const Program &program,
+                               const ProgramLayout &layout) const
+{
+    double total = 0.0;
+    for (const auto &proc : program.procs())
+        total += layoutCost(proc, layout.procs[proc.id()]);
+    return total;
+}
+
+std::unique_ptr<AlignmentObjective>
+makeObjective(ObjectiveKind kind, const CostModel *model)
+{
+    switch (kind) {
+      case ObjectiveKind::TableCost:
+        if (model == nullptr)
+            panic("makeObjective: table-cost objective needs a cost model");
+        return std::make_unique<TableCostObjective>(*model);
+      case ObjectiveKind::ExtTsp:
+        return std::make_unique<ExtTspObjective>();
+    }
+    panic("makeObjective: bad kind");
+}
+
+}  // namespace balign

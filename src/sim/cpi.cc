@@ -86,25 +86,33 @@ runConfigs(const PreparedProgram &prepared,
     struct LayoutKey
     {
         AlignerKind kind;
-        Arch arch;  ///< only meaningful for cost-aware aligners
+        ObjectiveKind objective;
+        Arch arch;  ///< only meaningful for arch-dependent layouts
 
         bool
         operator<(const LayoutKey &other) const
         {
             if (kind != other.kind)
                 return kind < other.kind;
+            if (objective != other.objective)
+                return objective < other.objective;
             return arch < other.arch;
         }
     };
     auto layout_key = [](const ExperimentConfig &config) {
-        // Cost-aware aligners depend on the architecture's cost model; in
+        // Objective-guided aligners depend on the architecture only when
+        // the objective prices through the architecture's cost model
+        // (Table-1; ExtTSP layouts are shared across architectures). In
         // addition, the BT/FNT architecture uses the Pettis-Hansen BT/FNT
         // precedence chain ordering (paper SS6.1), making every BT/FNT
         // layout architecture-specific.
-        const bool arch_dependent = config.kind == AlignerKind::Cost ||
-                                    config.kind == AlignerKind::Try15 ||
-                                    config.arch == Arch::BtFnt;
-        return LayoutKey{config.kind,
+        const bool guided = config.kind == AlignerKind::Cost ||
+                            config.kind == AlignerKind::Try15 ||
+                            config.kind == AlignerKind::ExtTsp;
+        const bool arch_dependent =
+            (guided && objectiveArchDependent(config.objective)) ||
+            config.arch == Arch::BtFnt;
+        return LayoutKey{config.kind, config.objective,
                          arch_dependent ? config.arch : Arch::Fallthrough};
     };
 
@@ -128,6 +136,7 @@ runConfigs(const PreparedProgram &prepared,
         const ExperimentConfig &config = key_configs[i];
         auto model = std::make_unique<CostModel>(config.arch);
         AlignOptions arch_options = options;
+        arch_options.objective = config.objective;
         if (config.arch == Arch::BtFnt)
             arch_options.chainOrder = ChainOrderPolicy::BtFntPrecedence;
         layouts[i] = std::make_unique<ProgramLayout>(alignProgram(

@@ -15,7 +15,9 @@
  *
  * Layouts are shared where the paper shares them: Original and Greedy are
  * architecture-independent; Cost and TryN are re-run per architecture with
- * that architecture's cost model.
+ * that architecture's cost model. Under an architecture-independent
+ * objective (ExtTSP) even the objective-guided aligners share one layout
+ * across architectures — objectiveArchDependent() decides.
  */
 
 #ifndef BALIGN_SIM_CPI_H
@@ -36,11 +38,14 @@
 
 namespace balign {
 
-/// A (prediction architecture, alignment algorithm) pair to evaluate.
+/// A (prediction architecture, alignment algorithm, alignment objective)
+/// triple to evaluate. The objective defaults to the paper's Table-1
+/// cost, so two-field aggregate initialization keeps its old meaning.
 struct ExperimentConfig
 {
     Arch arch;
     AlignerKind kind;
+    ObjectiveKind objective = ObjectiveKind::TableCost;
 };
 
 /// One evaluated configuration.

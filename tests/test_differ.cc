@@ -175,4 +175,20 @@ TEST(Differ, AllArchsAndKindsCoverTheMatrix)
 {
     EXPECT_EQ(allArchs().size(), 8u);
     EXPECT_EQ(allAlignerKinds().size(), 4u);
+    // The extended sweep appends ExtTsp without renumbering the paper's
+    // four (suite goldens pin those).
+    ASSERT_EQ(allAlignerKindsExtended().size(), 5u);
+    for (std::size_t i = 0; i < allAlignerKinds().size(); ++i)
+        EXPECT_EQ(allAlignerKindsExtended()[i], allAlignerKinds()[i]);
+    EXPECT_EQ(allAlignerKindsExtended().back(), AlignerKind::ExtTsp);
+}
+
+TEST(Differ, DivergenceRecordsObjective)
+{
+    Divergence divergence;
+    divergence.kind = DivergenceKind::Event;
+    divergence.objective = ObjectiveKind::ExtTsp;
+    divergence.detail = "detail";
+    const std::string text = formatDivergence(divergence);
+    EXPECT_NE(text.find("objective=exttsp"), std::string::npos) << text;
 }

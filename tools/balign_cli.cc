@@ -14,11 +14,14 @@
  *       Print Table-2 style attributes for the program.
  *
  *   balign align <FILE> --arch ARCH --algo ALGO [--group N]
+ *                [--objective OBJ]
  *       Report the layout an aligner would produce: per-procedure block
  *       orders and transformation counts.
  *
  *   balign evaluate <FILE> --arch ARCH [--instrs N] [--seed S]
- *       Evaluate Original/Greedy/Cost/Try15 on one architecture.
+ *                   [--objective OBJ]
+ *       Evaluate Original/Greedy/Cost/Try15/ExtTsp on one architecture,
+ *       all guided by the selected objective.
  *
  *   balign unroll <FILE> [-o FILE] [--factor K] [--min-weight W]
  *       Unroll hot single-block loops by duplication.
@@ -49,7 +52,11 @@
  *       when any program has lint errors.
  *
  * Architectures: fallthrough btfnt likely pht gshare btb-small btb-large.
- * Algorithms: greedy cost try15.
+ * Algorithms: greedy cost try15 exttsp.
+ * Objectives (--objective): table-cost (paper Table 1, the default) and
+ * exttsp (distance-aware, architecture-independent). The objective guides
+ * the Cost/Try15 decision pricing, materialization, and the greedy
+ * fallback splice; fuzz/repro sweep both objectives unless one is forced.
  */
 
 #include <cstdio>
@@ -85,6 +92,8 @@ struct Args
     std::string output;
     std::string arch = "btfnt";
     std::string algo = "try15";
+    std::string objective = "table-cost";
+    bool objectiveSet = false;
     std::uint64_t instrs = 2'000'000;
     bool instrsSet = false;
     std::uint64_t seed = 1;
@@ -114,6 +123,10 @@ parseArgs(int argc, char **argv)
             args.arch = next();
         else if (arg == "--algo")
             args.algo = next();
+        else if (arg == "--objective") {
+            args.objective = next();
+            args.objectiveSet = true;
+        }
         else if (arg == "--instrs") {
             args.instrs = std::strtoull(next().c_str(), nullptr, 10);
             args.instrsSet = true;
@@ -172,9 +185,20 @@ parseAlgo(const std::string &name)
         return AlignerKind::Cost;
     if (name == "try15" || name == "tryn")
         return AlignerKind::Try15;
+    if (name == "exttsp" || name == "ext-tsp")
+        return AlignerKind::ExtTsp;
     if (name == "original")
         return AlignerKind::Original;
     fatal("unknown algorithm '%s'", name.c_str());
+}
+
+ObjectiveKind
+parseObjective(const std::string &name)
+{
+    const std::optional<ObjectiveKind> kind = parseObjectiveKind(name);
+    if (!kind.has_value())
+        fatal("unknown objective '%s'", name.c_str());
+    return *kind;
 }
 
 Program
@@ -265,11 +289,13 @@ cmdAlign(const Args &args)
     const CostModel model(arch);
     AlignOptions options;
     options.groupSize = args.groupSize;
+    options.objective = parseObjective(args.objective);
     const ProgramLayout layout =
         alignProgram(program, kind, &model, options);
 
-    std::printf("# %s alignment for %s\n", alignerKindName(kind),
-                archName(arch));
+    std::printf("# %s alignment for %s (objective %s)\n",
+                alignerKindName(kind), archName(arch),
+                objectiveKindName(options.objective));
     for (ProcId p = 0; p < program.numProcs(); ++p) {
         const ProcLayout &pl = layout.procs[p];
         std::printf("proc %u %s: +%u jumps, -%u jumps, %u inverted\n", p,
@@ -297,11 +323,13 @@ cmdEvaluate(const Args &args)
     const PreparedProgram prepared =
         prepareProgram(std::move(program), walk_options);
 
+    const ObjectiveKind objective = parseObjective(args.objective);
     const std::vector<ExperimentConfig> configs = {
-        {arch, AlignerKind::Original},
-        {arch, AlignerKind::Greedy},
-        {arch, AlignerKind::Cost},
-        {arch, AlignerKind::Try15},
+        {arch, AlignerKind::Original, objective},
+        {arch, AlignerKind::Greedy, objective},
+        {arch, AlignerKind::Cost, objective},
+        {arch, AlignerKind::Try15, objective},
+        {arch, AlignerKind::ExtTsp, objective},
     };
     // Alignments and per-configuration replays run on the thread pool
     // (BALIGN_THREADS; results are identical for any thread count).
@@ -321,8 +349,9 @@ cmdEvaluate(const Args &args)
             .cell(cell.eval.mispredicts, true)
             .cell(cell.eval.misfetches, true);
     }
-    std::printf("%s on %s, %s instructions\n\n",
+    std::printf("%s on %s (objective %s), %s instructions\n\n",
                 prepared.program.name().c_str(), archName(arch),
+                objectiveKindName(objective),
                 withCommas(run.origInstrs).c_str());
     table.print(std::cout);
     inform("phase timing (threads=%u): %s", pool.threads(),
@@ -365,6 +394,8 @@ cmdFuzz(const Args &args)
     options.firstSeed = args.seed;
     options.walkInstrs = args.instrsSet ? args.instrs : 20'000;
     options.corpusDir = args.output;
+    if (args.objectiveSet)
+        options.diff.objectives = {parseObjective(args.objective)};
     ThreadPool pool(defaultThreads());
     options.pool = &pool;
 
@@ -397,6 +428,13 @@ cmdRepro(const Args &args)
 
     DiffOptions options;
     options.maxDivergences = 0;  // report every diverging configuration
+    // Replay the fuzzer's full sweep: all five aligners, both objectives
+    // (or just the forced one).
+    options.kinds = allAlignerKindsExtended();
+    options.objectives = args.objectiveSet
+                             ? std::vector<ObjectiveKind>{parseObjective(
+                                   args.objective)}
+                             : allObjectiveKinds();
     const std::vector<Divergence> divergences =
         diffProgram(std::move(repro->program), repro->walk, options);
     if (divergences.empty()) {
@@ -450,13 +488,16 @@ cmdLint(const Args &args)
         }
     }
 
+    LintRunOptions run;
+    run.align.objective = parseObjective(args.objective);
+
     std::size_t total_errors = 0;
     std::size_t total_warnings = 0;
     bool first = true;
     if (args.json)
         std::cout << "[\n";
     for (const auto &[name, program] : inputs) {
-        const LintReport report = lintProgram(program);
+        const LintReport report = lintProgram(program, run);
         total_errors += report.errors();
         total_warnings += report.warnings();
         if (args.json) {
@@ -492,7 +533,12 @@ usage()
         "  dot <FILE> [--proc N]                      Graphviz output\n"
         "  fuzz [--seeds N] [--instrs N] [-o DIR]     differential fuzzing\n"
         "  repro <FILE> [--instrs N]                  replay one repro\n"
-        "  lint <FILE>...|--suite [--json]            static verification\n");
+        "  lint <FILE>...|--suite [--json]            static verification\n"
+        "options:\n"
+        "  --algo greedy|cost|try15|exttsp|original   alignment algorithm\n"
+        "  --objective table-cost|exttsp              alignment objective\n"
+        "    (align/evaluate/lint price under it; fuzz/repro sweep both\n"
+        "    objectives unless one is forced)\n");
 }
 
 }  // namespace

@@ -111,6 +111,23 @@ BM_AlignGreedy(benchmark::State &state)
 }
 BENCHMARK(BM_AlignGreedy);
 
+// Same alignment with the translation-validating post-condition
+// switched off: the delta against BM_AlignGreedy is the price of
+// proving every emitted layout (DESIGN.md §10.4).
+void
+BM_AlignGreedyNoVerify(benchmark::State &state)
+{
+    const PreparedProgram prepared = prepareProgram(mediumSpec());
+    AlignOptions options;
+    options.verify = false;
+    for (auto _ : state) {
+        const ProgramLayout layout = alignProgram(
+            prepared.program, AlignerKind::Greedy, nullptr, options);
+        benchmark::DoNotOptimize(layout.totalInstrs);
+    }
+}
+BENCHMARK(BM_AlignGreedyNoVerify);
+
 void
 BM_AlignCost(benchmark::State &state)
 {

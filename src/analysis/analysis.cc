@@ -1,0 +1,15 @@
+#include "analysis/analysis.h"
+
+namespace balign {
+
+ProcAnalysis
+ProcAnalysis::of(const Procedure &proc)
+{
+    CfgView view(proc);
+    DominatorTree doms = computeDominators(view);
+    LoopForest loops = computeLoops(view, doms);
+    return ProcAnalysis{std::move(view), std::move(doms),
+                        std::move(loops)};
+}
+
+}  // namespace balign

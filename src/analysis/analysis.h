@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ProcAnalysis: the per-procedure analysis bundle.
+ *
+ * One call builds everything the dataflow-powered clients need — the
+ * deduplicated adjacency view, reverse postorder, dominator tree and
+ * natural-loop forest — in dependency order, computing each layer once.
+ * The bundle owns all of it, so a client holding a ProcAnalysis can drop
+ * the Procedure (or mutate it: the analysis is a snapshot).
+ *
+ * Construction never panics on malformed CFGs: out-of-range edges are
+ * skipped (CfgView), unreachable blocks are excluded from the orderings,
+ * and irreducible regions are reported instead of mis-modelled. That is
+ * what lets the lint rules run the analyses on arbitrary input before
+ * validation has passed.
+ */
+
+#ifndef BALIGN_ANALYSIS_ANALYSIS_H
+#define BALIGN_ANALYSIS_ANALYSIS_H
+
+#include "analysis/cfg_view.h"
+#include "analysis/dominators.h"
+#include "analysis/loops.h"
+#include "analysis/rpo.h"
+
+namespace balign {
+
+/// Everything src/analysis/ computes for one procedure.
+struct ProcAnalysis
+{
+    CfgView view;
+    DominatorTree doms;
+    LoopForest loops;
+
+    /// RPO shared by the dominator and loop computations.
+    const RpoOrder &rpo() const { return doms.rpo; }
+
+    /// Builds the full bundle for @p proc.
+    static ProcAnalysis of(const Procedure &proc);
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_ANALYSIS_ANALYSIS_H

@@ -1,0 +1,27 @@
+#include "analysis/cfg_view.h"
+
+#include <algorithm>
+
+namespace balign {
+
+CfgView::CfgView(const Procedure &proc)
+    : entry_(proc.entry()),
+      succs_(proc.numBlocks()),
+      preds_(proc.numBlocks())
+{
+    const std::size_t n = proc.numBlocks();
+    for (std::uint32_t i = 0; i < proc.numEdges(); ++i) {
+        const Edge &edge = proc.edge(i);
+        if (edge.src >= n || edge.dst >= n)
+            continue;  // cfg.edge-targets reports it; stay total
+        auto &out = succs_[edge.src];
+        if (std::find(out.begin(), out.end(), edge.dst) == out.end()) {
+            out.push_back(edge.dst);
+            preds_[edge.dst].push_back(edge.src);
+        }
+    }
+    if (entry_ >= n)
+        entry_ = kNoBlock;
+}
+
+}  // namespace balign

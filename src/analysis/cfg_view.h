@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CfgView: a compact, deduplicated adjacency view of one procedure's CFG.
+ *
+ * The IR (cfg/procedure.h) stores edges as a flat vector cross-indexed by
+ * both endpoints, which is the right shape for profiling and layout but
+ * awkward for graph algorithms: traversals want plain successor /
+ * predecessor lists, and dominator/loop computations must not be confused
+ * by parallel edges (a conditional whose taken and fall-through successors
+ * coincide) or by malformed indices on a program that has not passed
+ * validation yet. CfgView materializes that shape once:
+ *
+ *  - successors/predecessors are deduplicated block-id lists;
+ *  - out-of-range edge endpoints and stale edge indices are skipped (the
+ *    cfg.* lint rules report them; the analyses stay total);
+ *  - construction is O(blocks + edges) and the view holds no reference to
+ *    the Procedure, so it survives IR mutation.
+ *
+ * Every analysis in src/analysis/ consumes a CfgView, so the traversal
+ * semantics (what counts as an edge, how degenerate input is handled) are
+ * defined in exactly one place.
+ */
+
+#ifndef BALIGN_ANALYSIS_CFG_VIEW_H
+#define BALIGN_ANALYSIS_CFG_VIEW_H
+
+#include <vector>
+
+#include "cfg/procedure.h"
+
+namespace balign {
+
+/// Deduplicated intra-procedure adjacency (see file comment).
+class CfgView
+{
+  public:
+    explicit CfgView(const Procedure &proc);
+
+    std::size_t numBlocks() const { return succs_.size(); }
+    BlockId entry() const { return entry_; }
+
+    /// Distinct successor block ids of @p id, in first-seen edge order.
+    const std::vector<BlockId> &succs(BlockId id) const
+    {
+        return succs_[id];
+    }
+
+    /// Distinct predecessor block ids of @p id, in first-seen edge order.
+    const std::vector<BlockId> &preds(BlockId id) const
+    {
+        return preds_[id];
+    }
+
+  private:
+    BlockId entry_;
+    std::vector<std::vector<BlockId>> succs_;
+    std::vector<std::vector<BlockId>> preds_;
+};
+
+}  // namespace balign
+
+#endif  // BALIGN_ANALYSIS_CFG_VIEW_H

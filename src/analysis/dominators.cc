@@ -1,0 +1,74 @@
+#include "analysis/dominators.h"
+
+namespace balign {
+
+bool
+DominatorTree::dominates(BlockId a, BlockId b) const
+{
+    if (a >= idom.size() || b >= idom.size())
+        return false;
+    if (idom[a] == kNoBlock || idom[b] == kNoBlock)
+        return false;  // unreachable blocks dominate nothing
+    // Walk b's dominator chain up to the entry. The chain is acyclic and
+    // strictly decreases in RPO number, so this terminates.
+    BlockId walk = b;
+    while (true) {
+        if (walk == a)
+            return true;
+        const BlockId up = idom[walk];
+        if (up == walk)
+            return false;  // reached the entry without meeting a
+        walk = up;
+    }
+}
+
+DominatorTree
+computeDominators(const CfgView &view)
+{
+    DominatorTree tree;
+    tree.rpo = reversePostorder(view);
+    tree.idom.assign(view.numBlocks(), kNoBlock);
+    if (tree.rpo.order.empty())
+        return tree;
+
+    const BlockId entry = tree.rpo.order.front();
+    tree.idom[entry] = entry;
+
+    // Intersection walks both fingers up to the common ancestor, comparing
+    // RPO numbers (lower number = closer to the entry).
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (tree.rpo.indexOf[a] > tree.rpo.indexOf[b])
+                a = tree.idom[a];
+            while (tree.rpo.indexOf[b] > tree.rpo.indexOf[a])
+                b = tree.idom[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const BlockId id : tree.rpo.order) {
+            if (id == entry)
+                continue;
+            // First processed predecessor seeds the intersection; only
+            // predecessors that already have an idom participate.
+            BlockId new_idom = kNoBlock;
+            for (const BlockId pred : view.preds(id)) {
+                if (!tree.rpo.reachable(pred) ||
+                    tree.idom[pred] == kNoBlock)
+                    continue;
+                new_idom = new_idom == kNoBlock ? pred
+                                                : intersect(pred, new_idom);
+            }
+            if (new_idom != kNoBlock && tree.idom[id] != new_idom) {
+                tree.idom[id] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    return tree;
+}
+
+}  // namespace balign

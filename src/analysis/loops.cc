@@ -1,0 +1,98 @@
+#include "analysis/loops.h"
+
+#include <algorithm>
+#include <map>
+
+namespace balign {
+
+bool
+NaturalLoop::contains(BlockId id) const
+{
+    return std::binary_search(blocks.begin(), blocks.end(), id);
+}
+
+LoopForest
+computeLoops(const CfgView &view, const DominatorTree &doms)
+{
+    LoopForest forest;
+    forest.innermost.assign(view.numBlocks(), kNoLoop);
+    const RpoOrder &rpo = doms.rpo;
+
+    // Classify every reachable edge once: back edges seed loops,
+    // retreating non-back edges witness irreducibility.
+    std::map<BlockId, std::vector<BlockId>> latches_of;  // header -> latches
+    for (const BlockId src : rpo.order) {
+        for (const BlockId dst : view.succs(src)) {
+            if (!rpo.reachable(dst))
+                continue;
+            const bool retreating = rpo.indexOf[dst] <= rpo.indexOf[src];
+            if (!retreating)
+                continue;
+            if (doms.dominates(dst, src))
+                latches_of[dst].push_back(src);
+            else
+                forest.irreducibleEdges.emplace_back(src, dst);
+        }
+    }
+
+    // Build each loop body: backward reachability from the latches,
+    // stopping at the header.
+    std::vector<std::pair<std::uint32_t, BlockId>> headers;
+    headers.reserve(latches_of.size());
+    for (const auto &[header, latches] : latches_of)
+        headers.emplace_back(rpo.indexOf[header], header);
+    std::sort(headers.begin(), headers.end());
+
+    for (const auto &[rpo_index, header] : headers) {
+        (void)rpo_index;
+        NaturalLoop loop;
+        loop.header = header;
+        loop.latches = latches_of[header];
+
+        std::vector<bool> in_loop(view.numBlocks(), false);
+        in_loop[header] = true;
+        std::vector<BlockId> work;
+        for (const BlockId latch : loop.latches) {
+            if (!in_loop[latch]) {
+                in_loop[latch] = true;
+                work.push_back(latch);
+            }
+        }
+        while (!work.empty()) {
+            const BlockId id = work.back();
+            work.pop_back();
+            for (const BlockId pred : view.preds(id)) {
+                if (rpo.reachable(pred) && !in_loop[pred]) {
+                    in_loop[pred] = true;
+                    work.push_back(pred);
+                }
+            }
+        }
+        for (BlockId id = 0; id < view.numBlocks(); ++id) {
+            if (in_loop[id])
+                loop.blocks.push_back(id);
+        }
+        forest.loops.push_back(std::move(loop));
+    }
+
+    // Nesting: headers are in RPO order, so an enclosing loop always
+    // precedes the loops it contains. The innermost enclosing loop of a
+    // header is the last earlier loop containing it; depths chain from
+    // there, and per-block innermost assignment lets later (inner) loops
+    // overwrite earlier (outer) ones.
+    for (std::size_t i = 0; i < forest.loops.size(); ++i) {
+        NaturalLoop &loop = forest.loops[i];
+        for (std::size_t j = i; j-- > 0;) {
+            if (forest.loops[j].contains(loop.header)) {
+                loop.parent = j;
+                loop.depth = forest.loops[j].depth + 1;
+                break;
+            }
+        }
+        for (const BlockId id : loop.blocks)
+            forest.innermost[id] = i;
+    }
+    return forest;
+}
+
+}  // namespace balign

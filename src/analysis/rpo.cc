@@ -1,0 +1,59 @@
+#include "analysis/rpo.h"
+
+#include <algorithm>
+
+namespace balign {
+
+RpoOrder
+reversePostorder(const CfgView &view)
+{
+    const std::size_t n = view.numBlocks();
+    RpoOrder rpo;
+    rpo.indexOf.assign(n, kNoRpoIndex);
+    if (view.entry() == kNoBlock || n == 0)
+        return rpo;
+
+    // Iterative DFS with an explicit (block, next-successor) stack so deep
+    // CFGs cannot overflow the call stack. Postorder is emitted when a
+    // block's successor list is exhausted.
+    enum : std::uint8_t { White, Grey, Black };
+    std::vector<std::uint8_t> color(n, White);
+    std::vector<std::pair<BlockId, std::size_t>> stack;
+    std::vector<BlockId> postorder;
+    postorder.reserve(n);
+
+    stack.emplace_back(view.entry(), 0);
+    color[view.entry()] = Grey;
+    while (!stack.empty()) {
+        auto &[id, next] = stack.back();
+        const auto &succs = view.succs(id);
+        if (next < succs.size()) {
+            const BlockId dst = succs[next++];
+            if (color[dst] == White) {
+                color[dst] = Grey;
+                stack.emplace_back(dst, 0);
+            }
+        } else {
+            color[id] = Black;
+            postorder.push_back(id);
+            stack.pop_back();
+        }
+    }
+
+    rpo.order.assign(postorder.rbegin(), postorder.rend());
+    for (std::uint32_t i = 0; i < rpo.order.size(); ++i)
+        rpo.indexOf[rpo.order[i]] = i;
+    return rpo;
+}
+
+std::vector<bool>
+reachableBlocks(const CfgView &view)
+{
+    const RpoOrder rpo = reversePostorder(view);
+    std::vector<bool> reachable(view.numBlocks(), false);
+    for (const BlockId id : rpo.order)
+        reachable[id] = true;
+    return reachable;
+}
+
+}  // namespace balign

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Depth-first orderings over a CfgView: reachability and reverse
+ * postorder.
+ *
+ * Reverse postorder (RPO) is the canonical iteration order for forward
+ * dataflow: every edge except retreating edges goes from a lower to a
+ * higher RPO number, so one pass propagates facts along all acyclic
+ * paths. The dominator and loop analyses are built on it, and the RPO
+ * numbering doubles as the retreating-edge test the irreducibility check
+ * needs (dst number <= src number).
+ *
+ * Only blocks reachable from the entry appear in the ordering; unreachable
+ * blocks keep kNoRpoIndex and are ignored by every downstream analysis
+ * (the cfg.unreachable-block lint rule reports them separately).
+ */
+
+#ifndef BALIGN_ANALYSIS_RPO_H
+#define BALIGN_ANALYSIS_RPO_H
+
+#include <limits>
+#include <vector>
+
+#include "analysis/cfg_view.h"
+
+namespace balign {
+
+/// RPO number of an unreachable block.
+inline constexpr std::uint32_t kNoRpoIndex =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Reverse-postorder numbering of the blocks reachable from the entry.
+struct RpoOrder
+{
+    /// Reachable block ids, in reverse postorder (entry first).
+    std::vector<BlockId> order;
+    /// Position of each block in `order`; kNoRpoIndex when unreachable.
+    std::vector<std::uint32_t> indexOf;
+
+    bool reachable(BlockId id) const
+    {
+        return id < indexOf.size() && indexOf[id] != kNoRpoIndex;
+    }
+};
+
+/// Computes the reverse postorder of @p view (iterative DFS, stable:
+/// successors are visited in adjacency order).
+RpoOrder reversePostorder(const CfgView &view);
+
+/// Blocks reachable from the entry (same traversal as reversePostorder).
+std::vector<bool> reachableBlocks(const CfgView &view);
+
+}  // namespace balign
+
+#endif  // BALIGN_ANALYSIS_RPO_H

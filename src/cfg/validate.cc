@@ -1,31 +1,32 @@
+/**
+ * validate() is a thin severity filter over the lint engine's cfg.* rules
+ * (lint/cfg_rules.cc) — one implementation of the structural invariants
+ * instead of two drifting copies. Errors become ValidationErrors; the
+ * advisory findings (unreachable blocks, dead ends, irreducible regions)
+ * are lint-only and never fail validation.
+ */
+
 #include "cfg/validate.h"
 
-#include <algorithm>
-#include <cstdarg>
-#include <cstdio>
-
+#include "lint/rules.h"
 #include "support/log.h"
 
 namespace balign {
 
 namespace {
 
-void
-addError(std::vector<ValidationError> &errors, ProcId proc, BlockId block,
-         std::string message)
+std::vector<ValidationError>
+errorsFromDiagnostics(const std::vector<Diagnostic> &diagnostics)
 {
-    errors.push_back(ValidationError{proc, block, std::move(message)});
-}
-
-std::string
-format(const char *fmt, ...)
-{
-    char buf[256];
-    std::va_list ap;
-    va_start(ap, fmt);
-    std::vsnprintf(buf, sizeof(buf), fmt, ap);
-    va_end(ap);
-    return buf;
+    std::vector<ValidationError> errors;
+    for (const Diagnostic &diagnostic : diagnostics) {
+        if (diagnostic.severity != Severity::Error)
+            continue;
+        errors.push_back(ValidationError{diagnostic.loc.proc,
+                                         diagnostic.loc.block,
+                                         diagnostic.message});
+    }
+    return errors;
 }
 
 }  // namespace
@@ -33,134 +34,17 @@ format(const char *fmt, ...)
 std::vector<ValidationError>
 validate(const Procedure &proc)
 {
-    std::vector<ValidationError> errors;
-    const ProcId pid = proc.id();
-
-    if (proc.numBlocks() == 0) {
-        addError(errors, pid, kNoBlock, "procedure has no blocks");
-        return errors;
-    }
-    if (proc.entry() >= proc.numBlocks()) {
-        addError(errors, pid, kNoBlock,
-                 format("entry block %u out of range", proc.entry()));
-    }
-
-    // Edge endpoint sanity and cross-index consistency.
-    for (std::size_t i = 0; i < proc.numEdges(); ++i) {
-        const Edge &edge = proc.edge(static_cast<std::uint32_t>(i));
-        if (edge.src >= proc.numBlocks() || edge.dst >= proc.numBlocks()) {
-            addError(errors, pid, edge.src,
-                     format("edge %zu endpoint out of range", i));
-            continue;
-        }
-        const auto &outs = proc.block(edge.src).outEdges;
-        if (std::find(outs.begin(), outs.end(), i) == outs.end()) {
-            addError(errors, pid, edge.src,
-                     format("edge %zu missing from src outEdges", i));
-        }
-        const auto &ins = proc.block(edge.dst).inEdges;
-        if (std::find(ins.begin(), ins.end(), i) == ins.end()) {
-            addError(errors, pid, edge.dst,
-                     format("edge %zu missing from dst inEdges", i));
-        }
-    }
-
-    // Per-block terminator arity rules.
-    for (const auto &block : proc.blocks()) {
-        unsigned taken = 0, fall = 0, other = 0;
-        for (auto index : block.outEdges) {
-            if (index >= proc.numEdges()) {
-                addError(errors, pid, block.id,
-                         format("out-edge index %u out of range", index));
-                continue;
-            }
-            const Edge &edge = proc.edge(index);
-            if (edge.src != block.id) {
-                addError(errors, pid, block.id,
-                         format("out-edge %u has src %u", index, edge.src));
-            }
-            switch (edge.kind) {
-              case EdgeKind::Taken: ++taken; break;
-              case EdgeKind::FallThrough: ++fall; break;
-              case EdgeKind::Other: ++other; break;
-            }
-        }
-        switch (block.term) {
-          case Terminator::FallThrough:
-            if (taken != 0 || other != 0 || fall > 1) {
-                addError(errors, pid, block.id,
-                         "fallthrough block must have <=1 fall-through edge "
-                         "and nothing else");
-            }
-            break;
-          case Terminator::CondBranch:
-            if (taken != 1 || fall != 1 || other != 0) {
-                addError(errors, pid, block.id,
-                         format("cond block needs taken=1 fall=1 (got %u/%u)",
-                                taken, fall));
-            }
-            break;
-          case Terminator::UncondBranch:
-            if (taken != 1 || fall != 0 || other != 0) {
-                addError(errors, pid, block.id,
-                         format("uncond block needs exactly one taken edge "
-                                "(got taken=%u fall=%u other=%u)",
-                                taken, fall, other));
-            }
-            break;
-          case Terminator::IndirectJump:
-            if (taken != 0 || fall != 0 || other == 0) {
-                addError(errors, pid, block.id,
-                         "indirect block needs >=1 Other edge and no "
-                         "taken/fall-through edges");
-            }
-            break;
-          case Terminator::Return:
-            if (!block.outEdges.empty()) {
-                addError(errors, pid, block.id,
-                         "return block may not have out-edges");
-            }
-            break;
-        }
-        if (block.numInstrs == 0)
-            addError(errors, pid, block.id, "block has zero instructions");
-        for (const auto &site : block.calls) {
-            // The terminator occupies the final slot; a call must precede it.
-            const std::uint32_t limit =
-                block.hasBranchInstr() ? block.numInstrs - 1 : block.numInstrs;
-            if (site.offset >= limit) {
-                addError(errors, pid, block.id,
-                         format("call at offset %u overlaps terminator",
-                                site.offset));
-            }
-        }
-    }
-    return errors;
+    std::vector<Diagnostic> diagnostics;
+    lintCfgProc(proc, nullptr, diagnostics);
+    return errorsFromDiagnostics(diagnostics);
 }
 
 std::vector<ValidationError>
 validate(const Program &program)
 {
-    std::vector<ValidationError> errors;
-    for (const auto &proc : program.procs()) {
-        auto proc_errors = validate(proc);
-        errors.insert(errors.end(), proc_errors.begin(), proc_errors.end());
-        for (const auto &block : proc.blocks()) {
-            for (const auto &site : block.calls) {
-                if (site.callee >= program.numProcs()) {
-                    addError(errors, proc.id(), block.id,
-                             format("call to unknown procedure %u",
-                                    site.callee));
-                }
-            }
-        }
-    }
-    if (program.numProcs() == 0) {
-        addError(errors, kNoProc, kNoBlock, "program has no procedures");
-    } else if (program.mainProc() >= program.numProcs()) {
-        addError(errors, kNoProc, kNoBlock, "main procedure out of range");
-    }
-    return errors;
+    std::vector<Diagnostic> diagnostics;
+    lintCfg(program, diagnostics);
+    return errorsFromDiagnostics(diagnostics);
 }
 
 void

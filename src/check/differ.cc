@@ -16,6 +16,7 @@ divergenceKindName(DivergenceKind kind)
       case DivergenceKind::Event: return "event";
       case DivergenceKind::Counters: return "counters";
       case DivergenceKind::Lint: return "lint";
+      case DivergenceKind::Verify: return "verify";
     }
     return "?";
 }
@@ -291,6 +292,9 @@ diffPrepared(const PreparedProgram &prepared, const DiffOptions &options)
                 const CostModel model(arch);
                 AlignOptions arch_options = options.align;
                 arch_options.objective = objective;
+                // The differ wants layout bugs surfaced as divergences it
+                // can shrink, not as verifier panics.
+                arch_options.verify = false;
                 if (arch == Arch::BtFnt)
                     arch_options.chainOrder =
                         ChainOrderPolicy::BtFntPrecedence;

@@ -42,6 +42,8 @@ enum class DivergenceKind : std::uint8_t {
     Counters,    ///< streams agree but accumulated totals do not
     Lint,        ///< static lint rules (lint/lint.h) rejected the inputs
                  ///< before any trace was replayed
+    Verify,      ///< the layout verifier (verify/verify.h) could not prove
+                 ///< a layout semantically equivalent to its program
 };
 
 /// Printable kind name.

@@ -657,6 +657,44 @@ lintGateCheck(const Program &program, const DiffOptions &options)
     return std::nullopt;
 }
 
+std::optional<Divergence>
+verifyGateCheck(const Program &program, const DiffOptions &options,
+                const LayoutMutator &mutate)
+{
+    VerifyRunOptions run;
+    run.archs = options.archs;
+    run.kinds = options.kinds;
+    run.objectives = options.objectives;
+    run.align = options.align;
+    run.mutate = mutate;
+    const VerifyRunReport report = verifyProgramLayouts(program, run);
+    if (report.verified())
+        return std::nullopt;
+
+    Divergence divergence;
+    divergence.kind = DivergenceKind::Verify;
+    divergence.program = program.name();
+    // Pin the divergence to the first failing configuration so the repro
+    // names a concrete (arch, aligner, objective) triple.
+    for (const VerifyCertificate &certificate : report.certificates) {
+        if (certificate.result.verified())
+            continue;
+        for (const Arch arch : allArchs()) {
+            if (certificate.arch == archName(arch))
+                divergence.arch = arch;
+        }
+        for (const AlignerKind kind : allAlignerKindsExtended()) {
+            if (certificate.aligner == alignerKindName(kind))
+                divergence.aligner = kind;
+        }
+        if (const auto objective = parseObjectiveKind(certificate.objective))
+            divergence.objective = *objective;
+        break;
+    }
+    divergence.detail = formatVerifyReport(report, program.name());
+    return divergence;
+}
+
 FuzzReport
 runFuzz(const FuzzOptions &options)
 {
@@ -687,6 +725,12 @@ runFuzz(const FuzzOptions &options)
         if (options.lintGate) {
             std::optional<Divergence> hit =
                 lintGateCheck(prepared.program, first_only);
+            if (hit.has_value())
+                return hit;
+        }
+        if (options.verifyGate) {
+            std::optional<Divergence> hit = verifyGateCheck(
+                prepared.program, first_only, options.layoutMutator);
             if (hit.has_value())
                 return hit;
         }
@@ -737,6 +781,8 @@ runFuzz(const FuzzOptions &options)
                                          : std::move(*found[i]));
         if (report.divergences.back().kind == DivergenceKind::Lint)
             ++report.lintHits;
+        if (report.divergences.back().kind == DivergenceKind::Verify)
+            ++report.verifyHits;
 
         std::string path;
         if (!options.corpusDir.empty()) {

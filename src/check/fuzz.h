@@ -27,6 +27,7 @@
 
 #include "check/differ.h"
 #include "trace/walker.h"
+#include "verify/driver.h"
 
 namespace balign {
 
@@ -81,6 +82,15 @@ struct FuzzOptions
     /// finding of its own (DivergenceKind::Lint) and shrinks exactly like
     /// a divergence.
     bool lintGate = true;
+    /// Run the translation-validating layout verifier (verify/verify.h)
+    /// over every layout alongside the lint gate. An undischarged proof
+    /// obligation is a finding of its own (DivergenceKind::Verify) and
+    /// shrinks exactly like a divergence.
+    bool verifyGate = true;
+    /// Test hook: corrupts each layout between alignment and
+    /// verification (see verify/driver.h), proving the gate catches
+    /// injected bugs end to end.
+    LayoutMutator layoutMutator;
 };
 
 /// Campaign outcome.
@@ -90,6 +100,8 @@ struct FuzzReport
     std::uint64_t configsChecked = 0;
     /// Findings of kind DivergenceKind::Lint among `divergences`.
     std::uint64_t lintHits = 0;
+    /// Findings of kind DivergenceKind::Verify among `divergences`.
+    std::uint64_t verifyHits = 0;
     /// First divergence per diverging seed, AFTER shrinking.
     std::vector<Divergence> divergences;
     /// Repro files written (parallel to divergences; empty string when
@@ -106,6 +118,17 @@ struct FuzzReport
  */
 std::optional<Divergence> lintGateCheck(const Program &program,
                                         const DiffOptions &options = {});
+
+/**
+ * The fuzzer's verify pre-gate: aligns @p program under every
+ * configuration in @p options and proves each layout semantically
+ * equivalent (verify/driver.h). @p mutate, when set, corrupts each layout
+ * first. Returns a DivergenceKind::Verify finding carrying the failed
+ * proof obligations, or nullopt when every layout verifies.
+ */
+std::optional<Divergence> verifyGateCheck(const Program &program,
+                                          const DiffOptions &options = {},
+                                          const LayoutMutator &mutate = {});
 
 /// Runs the campaign: seeds -> programs -> differ -> shrink -> corpus.
 FuzzReport runFuzz(const FuzzOptions &options);

@@ -5,6 +5,7 @@
 
 #include "layout/materialize.h"
 #include "support/log.h"
+#include "verify/verify.h"
 
 namespace balign {
 
@@ -130,6 +131,16 @@ alignProgram(const Program &program, AlignerKind kind, const CostModel *model,
             alignProgram(program, AlignerKind::Greedy, model, options);
         layout = cheaperPerProc(program, std::move(layout),
                                 std::move(greedy), *objective);
+    }
+    // Post-condition: the layout is a proof-checked semantic equivalent of
+    // the source program. Translation validation (verify/verify.h) rather
+    // than trusting the aligner/materializer pipeline.
+    if (options.verify) {
+        const VerifyResult proof = verifyLayout(program, layout);
+        if (!proof.verified())
+            panic("alignProgram: %s layout failed verification: %s",
+                  alignerKindName(kind),
+                  formatVerifyFailure(proof.failures.front()).c_str());
     }
     return layout;
 }

@@ -75,6 +75,16 @@ struct AlignOptions
      * id-based hints undervalue.
      */
     unsigned directionIterations = 1;
+
+    /**
+     * Prove every produced layout semantically equivalent to the source
+     * program before returning it (verify/verify.h). The check is linear
+     * in program size and panics naming the first violated obligation, so
+     * an aligner bug can never silently reach a simulation. Tools that
+     * want failures as findings instead of crashes (the differ, lint, the
+     * verify sweep itself) turn it off.
+     */
+    bool verify = true;
 };
 
 /**

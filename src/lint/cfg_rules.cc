@@ -2,16 +2,18 @@
  * @file
  * cfg.* rules: CFG well-formedness as diagnostics.
  *
- * These overlap with cfg/validate.h on purpose — validate() panics the
- * production pipeline on malformed input, while these rules produce
- * locatable, machine-readable findings (and add the reachability and
- * dead-end reports validate() does not attempt).
+ * This is the single implementation of the structural invariants:
+ * cfg/validate.h is a severity filter over these rules (errors only), so
+ * the production pipeline's panic-on-malformed-input and the linter's
+ * machine-readable findings can never drift apart. The advisory rules
+ * (reachability, dead ends, irreducible regions) are lint-only.
  */
 
 #include <algorithm>
 #include <sstream>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "lint/emit.h"
 #include "lint/rules.h"
 
@@ -25,6 +27,24 @@ std::string
 str(const std::ostringstream &out)
 {
     return out.str();
+}
+
+/// Per-procedure half of cfg.entry: the body and entry block exist.
+void
+lintProcEntry(const Procedure &proc, std::vector<Diagnostic> &sink)
+{
+    if (proc.numBlocks() == 0) {
+        emit(sink, "cfg.entry", {proc.id(), kNoBlock, kNoEdge},
+             "procedure has no blocks", "every procedure needs a body");
+        return;
+    }
+    if (proc.entry() >= proc.numBlocks()) {
+        std::ostringstream out;
+        out << "entry block " << proc.entry() << " out of range ("
+            << proc.numBlocks() << " blocks)";
+        emit(sink, "cfg.entry", {proc.id(), kNoBlock, kNoEdge},
+             str(out), "point Procedure::setEntry at an existing block");
+    }
 }
 
 void
@@ -41,20 +61,6 @@ lintEntryRule(const Program &program, std::vector<Diagnostic> &sink)
             << program.numProcs() << " procedures)";
         emit(sink, "cfg.entry", {}, str(out),
              "point Program::setMainProc at an existing procedure");
-    }
-    for (const Procedure &proc : program.procs()) {
-        if (proc.numBlocks() == 0) {
-            emit(sink, "cfg.entry", {proc.id(), kNoBlock, kNoEdge},
-                 "procedure has no blocks", "every procedure needs a body");
-            continue;
-        }
-        if (proc.entry() >= proc.numBlocks()) {
-            std::ostringstream out;
-            out << "entry block " << proc.entry() << " out of range ("
-                << proc.numBlocks() << " blocks)";
-            emit(sink, "cfg.entry", {proc.id(), kNoBlock, kNoEdge},
-                 str(out), "point Procedure::setEntry at an existing block");
-        }
     }
 }
 
@@ -180,7 +186,7 @@ lintTerminatorArity(const Procedure &proc, std::vector<Diagnostic> &sink)
 }
 
 void
-lintCallSites(const Program &program, const Procedure &proc,
+lintCallSites(const Program *program, const Procedure &proc,
               std::vector<Diagnostic> &sink)
 {
     const ProcId pid = proc.id();
@@ -190,7 +196,7 @@ lintCallSites(const Program &program, const Procedure &proc,
                 ? block.numInstrs - 1
                 : block.numInstrs;
         for (const CallSite &site : block.calls) {
-            if (site.callee >= program.numProcs()) {
+            if (program != nullptr && site.callee >= program->numProcs()) {
                 std::ostringstream out;
                 out << "call at offset " << site.offset
                     << " targets unknown procedure " << site.callee;
@@ -274,19 +280,47 @@ lintReachability(const Procedure &proc, std::vector<Diagnostic> &sink)
     }
 }
 
+/// Reports every retreating edge that re-enters a loop region other than
+/// through the region's header. The analysis layer proves the existence
+/// of such edges is DFS-order invariant, so the finding is stable.
+void
+lintIrreducible(const Procedure &proc, std::vector<Diagnostic> &sink)
+{
+    const ProcAnalysis analysis = ProcAnalysis::of(proc);
+    for (const auto &[src, dst] : analysis.loops.irreducibleEdges) {
+        std::ostringstream out;
+        out << "retreating edge " << src << " -> " << dst
+            << " enters a loop region whose header does not dominate "
+               "it (irreducible control flow)";
+        emit(sink, "cfg.irreducible", {proc.id(), src, kNoEdge}, str(out),
+             "multi-entry loops defeat header-anchored layout "
+             "heuristics; consider node splitting");
+    }
+}
+
 }  // namespace
+
+void
+lintCfgProc(const Procedure &proc, const Program *program,
+            std::vector<Diagnostic> &sink)
+{
+    lintProcEntry(proc, sink);
+    if (proc.numBlocks() == 0)
+        return;  // nothing else is meaningful on an empty body
+    lintEdgeTargets(proc, sink);
+    lintTerminatorArity(proc, sink);
+    lintCallSites(program, proc, sink);
+    lintBlockSizes(proc, sink);
+    lintReachability(proc, sink);
+    lintIrreducible(proc, sink);
+}
 
 void
 lintCfg(const Program &program, std::vector<Diagnostic> &sink)
 {
     lintEntryRule(program, sink);
-    for (const Procedure &proc : program.procs()) {
-        lintEdgeTargets(proc, sink);
-        lintTerminatorArity(proc, sink);
-        lintCallSites(program, proc, sink);
-        lintBlockSizes(proc, sink);
-        lintReachability(proc, sink);
-    }
+    for (const Procedure &proc : program.procs())
+        lintCfgProc(proc, &program, sink);
 }
 
 }  // namespace balign

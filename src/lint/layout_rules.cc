@@ -11,9 +11,12 @@
  * while the flags themselves are checked against the CFG separately.
  */
 
+#include <algorithm>
+#include <limits>
 #include <sstream>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "layout/materialize.h"
 #include "lint/emit.h"
 #include "lint/rules.h"
@@ -335,12 +338,71 @@ lintAddresses(const Procedure &proc, const ProcLayout &layout,
     }
 }
 
+/**
+ * layout.loop-split (Note): a hot natural loop whose hot blocks are not
+ * one contiguous run of layout slots. Each split costs an extra taken
+ * branch or inserted jump per iteration and an i-cache line per entry,
+ * which the paper's alignment is precisely meant to avoid — but a split
+ * can still be the globally cheaper choice (e.g. sinking a cold side
+ * of the body), so this only annotates, never fails.
+ */
+void
+lintLoopSplit(const Procedure &proc, const ProcLayout &layout,
+              const LintOptions &options, std::vector<Diagnostic> &sink)
+{
+    const ProcAnalysis analysis = ProcAnalysis::of(proc);
+    for (const NaturalLoop &loop : analysis.loops.loops) {
+        // Heat = how often the loop actually iterates (back-edge weight).
+        Weight back_weight = 0;
+        for (const BlockId latch : loop.latches) {
+            for (const std::uint32_t index : proc.block(latch).outEdges) {
+                if (index < proc.numEdges() &&
+                    proc.edge(index).dst == loop.header)
+                    back_weight += proc.edge(index).weight;
+            }
+        }
+        if (back_weight < options.hotLoopWeight)
+            continue;
+
+        // Hot blocks: executed at least 1/8th as often as the loop
+        // iterates. Cold exits and error paths inside the body may be
+        // laid out far away without penalty.
+        std::uint32_t lo = std::numeric_limits<std::uint32_t>::max();
+        std::uint32_t hi = 0;
+        std::size_t hot = 0;
+        for (const BlockId id : loop.blocks) {
+            Weight in = 0;
+            for (const std::uint32_t index : proc.block(id).inEdges) {
+                if (index < proc.numEdges())
+                    in += proc.edge(index).weight;
+            }
+            if (in < back_weight / 8 && id != loop.header)
+                continue;
+            const std::uint32_t slot = layout.blocks[id].orderIndex;
+            lo = std::min(lo, slot);
+            hi = std::max(hi, slot);
+            ++hot;
+        }
+        if (hot > 0 && hi - lo + 1 > hot) {
+            std::ostringstream msg;
+            msg << "loop at header " << loop.header << " (depth "
+                << loop.depth << ", back-edge weight " << back_weight
+                << ") is split: " << hot << " hot block(s) spread over "
+                << hi - lo + 1 << " layout slots";
+            emit(sink, "layout.loop-split",
+                 {proc.id(), loop.header, kNoEdge}, msg.str(),
+                 "each split adds a taken branch or jump per iteration; "
+                 "check whether the displaced blocks earn their keep");
+        }
+    }
+}
+
 }  // namespace
 
 void
 lintLayout(const Program &program, const ProgramLayout &layout,
            const std::string &arch, const std::string &aligner,
-           std::vector<Diagnostic> &sink)
+           const LintOptions &options, std::vector<Diagnostic> &sink)
 {
     withContext(sink, arch, aligner, [&] {
         if (layout.procs.size() != program.numProcs()) {
@@ -368,6 +430,7 @@ lintLayout(const Program &program, const ProgramLayout &layout,
             if (lintPermutation(proc, pl, sink)) {
                 lintTransformFlags(proc, pl, sink);
                 lintAddresses(proc, pl, sink);
+                lintLoopSplit(proc, pl, options, sink);
             }
             base = pl.base + pl.totalInstrs;
         }

@@ -50,6 +50,8 @@ lintProgram(const Program &program, const LintRunOptions &options)
         // experiments evaluate.
         const CostModel model(arch);
         AlignOptions align = options.align;
+        // Lint reports findings; a verifier panic would mask them.
+        align.verify = false;
         if (arch == Arch::BtFnt)
             align.chainOrder = ChainOrderPolicy::BtFntPrecedence;
 
@@ -57,7 +59,8 @@ lintProgram(const Program &program, const LintRunOptions &options)
         for (const AlignerKind kind : kinds) {
             layouts[kind] = alignProgram(program, kind, &model, align);
             lintLayout(program, layouts[kind], archName(arch),
-                       alignerKindName(kind), report.diagnostics);
+                       alignerKindName(kind), options.lint,
+                       report.diagnostics);
             ++report.layoutsChecked;
         }
 
@@ -106,7 +109,8 @@ void
 writeLintReportJson(const LintReport &report,
                     const std::string &programName, std::ostream &os)
 {
-    os << "{\"program\":\"";
+    os << "{\"schema_version\":" << kLintSchemaVersion
+       << ",\"program\":\"";
     for (const char c : programName) {
         if (c == '"' || c == '\\')
             os << '\\';

@@ -26,6 +26,9 @@
 
 namespace balign {
 
+/// Version of the lint-report JSON schema (the `schema_version` field).
+inline constexpr int kLintSchemaVersion = 1;
+
 /// What lintProgram checked and found.
 struct LintReport
 {

@@ -23,6 +23,7 @@
 #include <sstream>
 #include <vector>
 
+#include "analysis/analysis.h"
 #include "lint/emit.h"
 #include "lint/rules.h"
 
@@ -96,6 +97,71 @@ lintFlowConservation(const Program &program, const LintOptions &options,
         emit(sink, "prof.flow-conservation", worst, msg.str(),
              "only the final call stack of one truncated walk may hold "
              "unfinished activations; anything more is double counting");
+    }
+}
+
+/**
+ * prof.flow: Kirchhoff conservation at natural-loop boundaries. Every
+ * path into a reducible loop's body passes through its header (the
+ * dominance property of a genuine back edge), so over a whole profile the
+ * weight leaving a loop can never exceed the weight that entered it, and
+ * the difference is bounded by the truncated-walk slack (activations the
+ * budget stranded inside). The block-level rule above cannot see these
+ * violations: scaling every in-loop edge by the same factor conserves
+ * per-block flow yet fabricates iterations out of thin air.
+ *
+ * Loops containing the procedure entry are skipped (call and restart
+ * activations enter them without crossing a CFG edge), as are procedures
+ * with irreducible regions (a second loop entry voids the boundary
+ * argument; cfg.irreducible reports those separately).
+ */
+void
+lintLoopFlow(const Program &program, const LintOptions &options,
+             std::vector<Diagnostic> &sink)
+{
+    for (const Procedure &proc : program.procs()) {
+        const ProcAnalysis analysis = ProcAnalysis::of(proc);
+        if (analysis.loops.irreducible())
+            continue;
+        for (const NaturalLoop &loop : analysis.loops.loops) {
+            if (loop.contains(proc.entry()))
+                continue;
+            Weight entries = 0, exits = 0;
+            for (std::uint32_t i = 0; i < proc.numEdges(); ++i) {
+                const Edge &edge = proc.edge(i);
+                if (edge.src >= proc.numBlocks() ||
+                    edge.dst >= proc.numBlocks())
+                    continue;  // reported by cfg.edge-targets
+                const bool src_in = loop.contains(edge.src);
+                const bool dst_in = loop.contains(edge.dst);
+                if (!src_in && dst_in)
+                    entries += edge.weight;
+                else if (src_in && !dst_in)
+                    exits += edge.weight;
+            }
+            if (exits > entries) {
+                std::ostringstream msg;
+                msg << "loop at header " << loop.header << " emits weight "
+                    << exits << " but only " << entries << " ever entered";
+                emit(sink, "prof.flow", {proc.id(), loop.header, kNoEdge},
+                     msg.str(),
+                     "an activation cannot leave a loop it never "
+                     "entered; the profile was not recorded by one "
+                     "consistent walk");
+            } else if (entries - exits > options.flowSlack) {
+                std::ostringstream msg;
+                msg << "loop at header " << loop.header << " swallows "
+                    << entries - exits << " activations (entered "
+                    << entries << ", left " << exits
+                    << "), above the truncated-walk allowance of "
+                    << options.flowSlack;
+                emit(sink, "prof.flow", {proc.id(), loop.header, kNoEdge},
+                     msg.str(),
+                     "only activations stranded by the walk budget may "
+                     "stay inside a loop; anything more is double "
+                     "counting");
+            }
+        }
     }
 }
 
@@ -196,6 +262,7 @@ lintProfile(const Program &program, const LintOptions &options,
             std::vector<Diagnostic> &sink)
 {
     lintFlowConservation(program, options, sink);
+    lintLoopFlow(program, options, sink);
     lintUnreachableWeight(program, sink);
     lintUncalledProcWeight(program, sink);
     lintBiasRange(program, sink);

@@ -22,6 +22,10 @@ allLintRules()
          "block cannot be reached from its procedure entry"},
         {"cfg.dead-end", Severity::Warning,
          "non-return block has no successor (walk unwinds silently)"},
+        {"cfg.irreducible", Severity::Warning,
+         "loop region has a second entry (retreating edge that is not a "
+         "back edge); Try15 grouping and ExtTSP chain merging assume "
+         "reducible loops"},
 
         // Profile consistency.
         {"prof.flow-conservation", Severity::Error,
@@ -33,6 +37,10 @@ allLintRules()
          "profile weight inside a procedure no call site references"},
         {"prof.bias-range", Severity::Error,
          "edge bias is a probability in [0, 1]"},
+        {"prof.flow", Severity::Error,
+         "natural-loop boundary flow conservation: exit weight never "
+         "exceeds entry weight and strands at most the truncated-walk "
+         "slack"},
 
         // Layout legality.
         {"layout.entry-first", Severity::Error,
@@ -50,6 +58,9 @@ allLintRules()
         {"layout.jump-needed", Severity::Error,
          "unconditional jumps inserted exactly where required and removed "
          "where adjacent"},
+        {"layout.loop-split", Severity::Note,
+         "hot natural loop laid out non-contiguously (its blocks span "
+         "more slots than they fill)"},
 
         // Cost-model relations.
         {"cost.monotone", Severity::Error,

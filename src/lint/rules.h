@@ -59,6 +59,11 @@ struct LintOptions
     /// summation noise only; a real regression exceeds this by orders of
     /// magnitude).
     double costRelTolerance = 1e-9;
+
+    /// layout.loop-split only considers natural loops whose total
+    /// back-edge weight reaches this threshold: splitting a loop the
+    /// program barely iterates costs nothing worth reporting.
+    Weight hotLoopWeight = 1024;
 };
 
 // ---------------------------------------------------------------------
@@ -66,6 +71,15 @@ struct LintOptions
 
 /// Runs every cfg.* rule over @p program.
 void lintCfg(const Program &program, std::vector<Diagnostic> &sink);
+
+/**
+ * Runs the per-procedure cfg.* rules over @p proc alone. @p program may be
+ * null, in which case the checks that need the whole program (call-site
+ * callee existence) are skipped. This is the engine behind
+ * cfg/validate.h, which filters the diagnostics down to errors.
+ */
+void lintCfgProc(const Procedure &proc, const Program *program,
+                 std::vector<Diagnostic> &sink);
 
 // ---------------------------------------------------------------------
 // prof.* — edge-profile consistency. Meaningful after profiling; all
@@ -82,7 +96,7 @@ void lintProfile(const Program &program, const LintOptions &options,
 /// Runs every layout.* rule over (@p program, @p layout).
 void lintLayout(const Program &program, const ProgramLayout &layout,
                 const std::string &arch, const std::string &aligner,
-                std::vector<Diagnostic> &sink);
+                const LintOptions &options, std::vector<Diagnostic> &sink);
 
 // ---------------------------------------------------------------------
 // cost.* — objective monotonicity. A candidate layout (Cost / Try15 /

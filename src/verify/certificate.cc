@@ -1,0 +1,94 @@
+#include "verify/certificate.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace balign {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+void
+writeJsonString(const std::string &text, std::ostream &os)
+{
+    os << '"';
+    for (const char c : text) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeOptionalId(const char *key, std::uint64_t value, std::uint64_t sentinel,
+                std::ostream &os)
+{
+    os << '"' << key << "\":";
+    if (value == sentinel)
+        os << "null";
+    else
+        os << value;
+}
+
+}  // namespace
+
+void
+writeCertificateJson(const VerifyCertificate &certificate, std::ostream &os)
+{
+    const VerifyResult &result = certificate.result;
+    os << "{\"schema_version\":" << kVerifySchemaVersion
+       << ",\"program\":";
+    writeJsonString(certificate.program, os);
+    os << ",\"arch\":";
+    writeJsonString(certificate.arch, os);
+    os << ",\"aligner\":";
+    writeJsonString(certificate.aligner, os);
+    os << ",\"objective\":";
+    writeJsonString(certificate.objective, os);
+    os << ",\"verified\":" << (result.verified() ? "true" : "false")
+       << ",\"checks\":" << result.totalChecks()
+       << ",\"failures\":" << result.totalFailures()
+       << ",\"obligations\":[";
+    for (std::size_t i = 0; i < kNumObligations; ++i) {
+        const auto obligation = static_cast<Obligation>(i);
+        if (i > 0)
+            os << ',';
+        os << "{\"obligation\":\"" << obligationName(obligation)
+           << "\",\"summary\":";
+        writeJsonString(obligationSummary(obligation), os);
+        os << ",\"checks\":" << result.obligations[i].checks
+           << ",\"failures\":" << result.obligations[i].failures << '}';
+    }
+    os << "],\"failure_details\":[";
+    for (std::size_t i = 0; i < result.failures.size(); ++i) {
+        const VerifyFailure &failure = result.failures[i];
+        if (i > 0)
+            os << ',';
+        os << "{\"obligation\":\"" << obligationName(failure.obligation)
+           << "\",";
+        writeOptionalId("proc", failure.proc, kNoProc, os);
+        os << ',';
+        writeOptionalId("block", failure.block, kNoBlock, os);
+        os << ",\"detail\":";
+        writeJsonString(failure.detail, os);
+        os << '}';
+    }
+    os << "]}";
+}
+
+}  // namespace balign

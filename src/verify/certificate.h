@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Machine-checkable verification certificates.
+ *
+ * A certificate records, for one verified (Program, ProgramLayout) pair,
+ * the configuration that produced the layout and every proof obligation
+ * the verifier discharged — how many instances were checked and how many
+ * failed, plus the full detail of each failure. An external checker can
+ * consume the JSON without knowing anything about the library: the
+ * obligation names are the stable strings from verify.h and the schema
+ * carries its own `schema_version` (currently 1).
+ *
+ * Certificate JSON schema (one object per layout):
+ *
+ * {
+ *   "schema_version": 1,
+ *   "program": "gcc", "arch": "btfnt", "aligner": "cost",
+ *   "objective": "table-cost",
+ *   "verified": true,
+ *   "checks": 1234, "failures": 0,
+ *   "obligations": [
+ *     {"obligation": "succ-preservation",
+ *      "summary": "...", "checks": 321, "failures": 0}, ...
+ *   ],
+ *   "failure_details": [
+ *     {"obligation": "...", "proc": 0, "block": 2, "detail": "..."}, ...
+ *   ]
+ * }
+ */
+
+#ifndef BALIGN_VERIFY_CERTIFICATE_H
+#define BALIGN_VERIFY_CERTIFICATE_H
+
+#include <iosfwd>
+#include <string>
+
+#include "verify/verify.h"
+
+namespace balign {
+
+/// Version of the certificate (and verify-report) JSON schema.
+inline constexpr int kVerifySchemaVersion = 1;
+
+/// One layout's verification outcome plus its provenance.
+struct VerifyCertificate
+{
+    std::string program;
+    std::string arch;       ///< empty for layout-independent context
+    std::string aligner;
+    std::string objective;
+    VerifyResult result;
+};
+
+/// Writes @p certificate as one JSON object (schema above).
+void writeCertificateJson(const VerifyCertificate &certificate,
+                          std::ostream &os);
+
+}  // namespace balign
+
+#endif  // BALIGN_VERIFY_CERTIFICATE_H

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Translation-validating layout verifier.
+ *
+ * For one (Program, ProgramLayout) pair this module statically proves
+ * that the laid-out binary is semantically equivalent to the source CFG —
+ * the Pnueli-style translation-validation stance: instead of trusting the
+ * aligner + materializer, every produced layout carries a proof. The
+ * proof is split into named obligations, each discharged by exhaustive
+ * per-procedure / per-block checks:
+ *
+ *  - proc-bijection      one ProcLayout per procedure, in id order
+ *  - block-bijection     the order is a permutation of the blocks and the
+ *                        cached positions agree with it
+ *  - entry-first         the entry block keeps the procedure's first
+ *                        address (callers jump there)
+ *  - address-contiguity  addresses are gap-free in layout order and
+ *                        procedures are placed contiguously
+ *  - size-accounting     block sizes and branch/jump addresses follow
+ *                        from the CFG size plus the transformation flags
+ *  - succ-preservation   each block's realized successor map equals its
+ *                        CFG successor map, modulo condition reversal and
+ *                        the inserted/removed unconditional jumps: no
+ *                        edge is dropped, duplicated or retargeted
+ *  - jump-targets        every inserted jump trails its block and targets
+ *                        exactly the successor the realization displaced
+ *
+ * Verification is total: malformed input produces failures, never a
+ * panic. A failure names its obligation — that exact name is what the
+ * alignProgram post-condition reports and what the certificate (see
+ * certificate.h) records. The verifier intentionally proves SEMANTIC
+ * equivalence, which is slightly weaker than the materializer's canonical
+ * form that lint's layout.* rules pin (e.g. a redundant kept jump to an
+ * adjacent target is a lint error but not a verification failure — the
+ * binary still transfers control correctly).
+ */
+
+#ifndef BALIGN_VERIFY_VERIFY_H
+#define BALIGN_VERIFY_VERIFY_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfg/program.h"
+#include "layout/layout_result.h"
+
+namespace balign {
+
+/// One proof obligation the verifier discharges.
+enum class Obligation : std::uint8_t {
+    ProcBijection,
+    BlockBijection,
+    EntryFirst,
+    AddressContiguity,
+    SizeAccounting,
+    SuccPreservation,
+    JumpTargets,
+};
+
+inline constexpr std::size_t kNumObligations = 7;
+
+/// Stable kebab-case obligation name (certificate schema).
+const char *obligationName(Obligation obligation);
+
+/// One-line statement of what the obligation proves.
+const char *obligationSummary(Obligation obligation);
+
+/// One unproven obligation instance.
+struct VerifyFailure
+{
+    Obligation obligation = Obligation::ProcBijection;
+    ProcId proc = kNoProc;
+    BlockId block = kNoBlock;
+    std::string detail;
+};
+
+/// Check/failure tally for one obligation.
+struct ObligationRecord
+{
+    std::size_t checks = 0;
+    std::size_t failures = 0;
+};
+
+/// Outcome of verifying one (Program, ProgramLayout) pair.
+struct VerifyResult
+{
+    /// Indexed by Obligation.
+    std::array<ObligationRecord, kNumObligations> obligations{};
+    /// Every failed obligation instance, in discovery order.
+    std::vector<VerifyFailure> failures;
+
+    bool verified() const { return failures.empty(); }
+    std::size_t totalChecks() const;
+    std::size_t totalFailures() const { return failures.size(); }
+};
+
+/// One-line rendering:
+/// `verify[succ-preservation] proc=0 block=2: detail`
+std::string formatVerifyFailure(const VerifyFailure &failure);
+
+/// Statically proves @p layout semantically equivalent to @p program.
+VerifyResult verifyLayout(const Program &program,
+                          const ProgramLayout &layout);
+
+}  // namespace balign
+
+#endif  // BALIGN_VERIFY_VERIFY_H

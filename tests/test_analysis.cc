@@ -1,0 +1,338 @@
+/**
+ * @file
+ * Dataflow-analysis tests: reverse postorder, dominators, and the
+ * natural-loop forest on hand-computed golden CFGs, plus total-function
+ * behaviour on the adversarial shapes the lint rules must survive —
+ * irreducible regions, self-loops, unreachable blocks, non-zero entries,
+ * and every degenerate fuzzer shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "cfg/builder.h"
+#include "cfg/procedure.h"
+#include "check/fuzz.h"
+
+using namespace balign;
+
+namespace {
+
+/**
+ * Procedure whose every block is an indirect jump (arbitrary fan-out), so
+ * the edge list encodes exactly the adjacency the analyses should see —
+ * no terminator-arity rules in the way. The analyses are total, so the
+ * shape need not pass validation.
+ */
+Procedure
+shapeProc(std::uint32_t num_blocks,
+          const std::vector<std::pair<BlockId, BlockId>> &edges,
+          BlockId entry = 0)
+{
+    Procedure proc(0, "shape");
+    for (std::uint32_t i = 0; i < num_blocks; ++i)
+        proc.addBlock(2, Terminator::IndirectJump);
+    for (const auto &[src, dst] : edges)
+        proc.addEdge(src, dst, EdgeKind::Other);
+    proc.setEntry(entry);
+    return proc;
+}
+
+/// The loop (if any) whose header is @p header, or nullptr.
+const NaturalLoop *
+loopWithHeader(const LoopForest &forest, BlockId header)
+{
+    for (const NaturalLoop &loop : forest.loops) {
+        if (loop.header == header)
+            return &loop;
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+TEST(Rpo, EntryFirstAndEdgesForwardOnAcyclicCfg)
+{
+    // Diamond: 0 -> {1,2} -> 3 -> 4.
+    const Procedure proc = shapeProc(
+        5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}});
+    const CfgView view(proc);
+    const RpoOrder rpo = reversePostorder(view);
+
+    ASSERT_EQ(rpo.order.size(), 5u);
+    EXPECT_EQ(rpo.order.front(), 0u);
+    for (const auto &[src, dst] : std::vector<std::pair<BlockId, BlockId>>{
+             {0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}}) {
+        EXPECT_LT(rpo.indexOf[src], rpo.indexOf[dst])
+            << src << " -> " << dst << " must be a forward edge";
+    }
+}
+
+TEST(Rpo, UnreachableBlocksAreExcluded)
+{
+    // Blocks 3 and 4 form an island the entry never reaches.
+    const Procedure proc = shapeProc(5, {{0, 1}, {1, 2}, {3, 4}, {4, 3}});
+    const CfgView view(proc);
+    const RpoOrder rpo = reversePostorder(view);
+
+    EXPECT_EQ(rpo.order.size(), 3u);
+    EXPECT_TRUE(rpo.reachable(0));
+    EXPECT_TRUE(rpo.reachable(2));
+    EXPECT_FALSE(rpo.reachable(3));
+    EXPECT_FALSE(rpo.reachable(4));
+    EXPECT_EQ(rpo.indexOf[3], kNoRpoIndex);
+
+    const std::vector<bool> reach = reachableBlocks(view);
+    EXPECT_TRUE(reach[2]);
+    EXPECT_FALSE(reach[4]);
+}
+
+TEST(CfgViewTest, DeduplicatesParallelEdgesAndSkipsOutOfRange)
+{
+    Procedure proc = shapeProc(2, {{0, 1}, {0, 1}, {0, 1}});
+    // Retarget one of the parallel edges past the block array (malformed
+    // input; the view must drop it rather than index out of bounds).
+    proc.edge(2).dst = 7;
+    const CfgView view(proc);
+    ASSERT_EQ(view.succs(0).size(), 1u);
+    EXPECT_EQ(view.succs(0).front(), 1u);
+    EXPECT_EQ(view.preds(1).size(), 1u);
+}
+
+TEST(Dominators, MatchHandComputedGolden)
+{
+    // The running example from Cooper-Harvey-Kennedy (renumbered so the
+    // entry is 0): 0 branches to 1 and 2; both reach the join 3; 2 also
+    // reaches 4; and 3 -> 5 -> 4 -> 3 closes a cycle around the join.
+    const Procedure proc = shapeProc(6, {{0, 1},
+                                         {0, 2},
+                                         {1, 3},
+                                         {2, 3},
+                                         {2, 4},
+                                         {4, 3},
+                                         {3, 5},
+                                         {5, 4}});
+    const DominatorTree doms = computeDominators(CfgView(proc));
+
+    EXPECT_EQ(doms.idom[0], 0u);
+    EXPECT_EQ(doms.idom[1], 0u);
+    EXPECT_EQ(doms.idom[2], 0u);
+    EXPECT_EQ(doms.idom[3], 0u);  // joined via 1, 2 and 4
+    EXPECT_EQ(doms.idom[4], 0u);  // reached via 2 and via 5
+    EXPECT_EQ(doms.idom[5], 3u);
+
+    EXPECT_TRUE(doms.dominates(0, 5));
+    EXPECT_TRUE(doms.dominates(3, 5));
+    EXPECT_TRUE(doms.dominates(5, 5));  // reflexive
+    EXPECT_FALSE(doms.dominates(1, 3));
+    EXPECT_FALSE(doms.dominates(2, 4));  // 5 -> 4 bypasses 2
+}
+
+TEST(Dominators, LinearChainAndUnreachableBlocks)
+{
+    const Procedure proc = shapeProc(4, {{0, 1}, {1, 2}});
+    const DominatorTree doms = computeDominators(CfgView(proc));
+    EXPECT_EQ(doms.idom[1], 0u);
+    EXPECT_EQ(doms.idom[2], 1u);
+    EXPECT_EQ(doms.idom[3], kNoBlock);  // unreachable
+    EXPECT_FALSE(doms.dominates(0, 3));
+    EXPECT_FALSE(doms.dominates(3, 3));
+}
+
+TEST(Loops, SimpleLoopHasHeaderLatchAndBody)
+{
+    // 0 -> 1 -> 2 -> 1 (back), 2 -> 3.
+    const Procedure proc = shapeProc(4, {{0, 1}, {1, 2}, {2, 1}, {2, 3}});
+    const ProcAnalysis analysis = ProcAnalysis::of(proc);
+
+    EXPECT_FALSE(analysis.loops.irreducible());
+    ASSERT_EQ(analysis.loops.loops.size(), 1u);
+    const NaturalLoop &loop = analysis.loops.loops.front();
+    EXPECT_EQ(loop.header, 1u);
+    EXPECT_EQ(loop.latches, std::vector<BlockId>{2});
+    EXPECT_EQ(loop.blocks, (std::vector<BlockId>{1, 2}));
+    EXPECT_EQ(loop.parent, kNoLoop);
+    EXPECT_EQ(loop.depth, 1u);
+    EXPECT_TRUE(loop.contains(1));
+    EXPECT_TRUE(loop.contains(2));
+    EXPECT_FALSE(loop.contains(0));
+    EXPECT_FALSE(loop.contains(3));
+    EXPECT_EQ(analysis.loops.innermost[2], 0u);
+    EXPECT_EQ(analysis.loops.innermost[3], kNoLoop);
+}
+
+TEST(Loops, SelfLoopIsItsOwnHeaderAndLatch)
+{
+    const Procedure proc = shapeProc(3, {{0, 1}, {1, 1}, {1, 2}});
+    const LoopForest forest = ProcAnalysis::of(proc).loops;
+
+    EXPECT_FALSE(forest.irreducible());
+    ASSERT_EQ(forest.loops.size(), 1u);
+    EXPECT_EQ(forest.loops[0].header, 1u);
+    EXPECT_EQ(forest.loops[0].latches, std::vector<BlockId>{1});
+    EXPECT_EQ(forest.loops[0].blocks, std::vector<BlockId>{1});
+}
+
+TEST(Loops, NestedLoopsGetParentAndDepth)
+{
+    // outer: 1..4 (4 -> 1), inner: 2..3 (3 -> 2).
+    const Procedure proc = shapeProc(6, {{0, 1},
+                                         {1, 2},
+                                         {2, 3},
+                                         {3, 2},
+                                         {3, 4},
+                                         {4, 1},
+                                         {4, 5}});
+    const LoopForest forest = ProcAnalysis::of(proc).loops;
+
+    EXPECT_FALSE(forest.irreducible());
+    ASSERT_EQ(forest.loops.size(), 2u);
+    const NaturalLoop *outer = loopWithHeader(forest, 1);
+    const NaturalLoop *inner = loopWithHeader(forest, 2);
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+
+    EXPECT_EQ(outer->blocks, (std::vector<BlockId>{1, 2, 3, 4}));
+    EXPECT_EQ(inner->blocks, (std::vector<BlockId>{2, 3}));
+    EXPECT_EQ(outer->parent, kNoLoop);
+    EXPECT_EQ(outer->depth, 1u);
+    EXPECT_EQ(inner->depth, 2u);
+    ASSERT_NE(inner->parent, kNoLoop);
+    EXPECT_EQ(forest.loops[inner->parent].header, 1u);
+    // Innermost-loop map prefers the inner loop for its body...
+    EXPECT_EQ(forest.loops[forest.innermost[3]].header, 2u);
+    // ...and the outer loop for blocks only it contains.
+    EXPECT_EQ(forest.loops[forest.innermost[4]].header, 1u);
+}
+
+TEST(Loops, TwoBackEdgesToOneHeaderMerge)
+{
+    // Both 2 and 3 latch back to header 1: one merged loop.
+    const Procedure proc = shapeProc(
+        5, {{0, 1}, {1, 2}, {1, 3}, {2, 1}, {3, 1}, {3, 4}});
+    const LoopForest forest = ProcAnalysis::of(proc).loops;
+    ASSERT_EQ(forest.loops.size(), 1u);
+    EXPECT_EQ(forest.loops[0].header, 1u);
+    // Discovery order follows RPO: the DFS finishes 2's arm first, so 3
+    // gets the earlier RPO number and its back edge is found first.
+    EXPECT_EQ(forest.loops[0].latches, (std::vector<BlockId>{3, 2}));
+    EXPECT_EQ(forest.loops[0].blocks, (std::vector<BlockId>{1, 2, 3}));
+}
+
+TEST(Loops, MultiEntryRegionIsReportedIrreducible)
+{
+    // The classic irreducible triangle: both 1 and 2 are entered from
+    // the entry, and they cycle through each other, so neither dominates
+    // the other — no natural loop exists.
+    const Procedure proc = shapeProc(
+        4, {{0, 1}, {0, 2}, {1, 2}, {2, 1}, {1, 3}});
+    const LoopForest forest = ProcAnalysis::of(proc).loops;
+
+    EXPECT_TRUE(forest.irreducible());
+    ASSERT_EQ(forest.irreducibleEdges.size(), 1u);
+    EXPECT_EQ(forest.irreducibleEdges.front(),
+              (std::pair<BlockId, BlockId>{2, 1}));
+    EXPECT_TRUE(forest.loops.empty());
+}
+
+TEST(Loops, ReducibleLoopBesideIrreducibleRegionIsStillFound)
+{
+    // Block 5's self-loop is a genuine natural loop even though blocks
+    // 1..2 form an irreducible region elsewhere in the procedure.
+    const Procedure proc = shapeProc(6, {{0, 1},
+                                         {0, 2},
+                                         {1, 2},
+                                         {2, 1},
+                                         {2, 5},
+                                         {5, 5},
+                                         {5, 3}});
+    const LoopForest forest = ProcAnalysis::of(proc).loops;
+    EXPECT_TRUE(forest.irreducible());
+    ASSERT_EQ(forest.loops.size(), 1u);
+    EXPECT_EQ(forest.loops[0].header, 5u);
+}
+
+TEST(Analysis, RespectsNonZeroEntryBlock)
+{
+    // Entry 2; block 0 becomes unreachable and the loop 2 -> 1 -> 2 is
+    // rooted at the real entry.
+    const Procedure proc =
+        shapeProc(3, {{0, 1}, {2, 1}, {1, 2}}, /*entry=*/2);
+    const ProcAnalysis analysis = ProcAnalysis::of(proc);
+
+    EXPECT_EQ(analysis.rpo().order.front(), 2u);
+    EXPECT_FALSE(analysis.rpo().reachable(0));
+    ASSERT_EQ(analysis.loops.loops.size(), 1u);
+    EXPECT_EQ(analysis.loops.loops[0].header, 2u);
+}
+
+TEST(Analysis, EmptyAndEdgelessProceduresAreHandled)
+{
+    const Procedure empty(0, "empty");
+    const ProcAnalysis none = ProcAnalysis::of(empty);
+    EXPECT_TRUE(none.rpo().order.empty());
+    EXPECT_TRUE(none.loops.loops.empty());
+
+    const Procedure lone = shapeProc(1, {});
+    const ProcAnalysis one = ProcAnalysis::of(lone);
+    EXPECT_EQ(one.rpo().order.size(), 1u);
+    EXPECT_TRUE(one.doms.dominates(0, 0));
+}
+
+TEST(Analysis, OutOfRangeEntryIsNotReachable)
+{
+    const Procedure proc = shapeProc(2, {{0, 1}}, /*entry=*/9);
+    const ProcAnalysis analysis = ProcAnalysis::of(proc);
+    EXPECT_TRUE(analysis.rpo().order.empty());
+    EXPECT_FALSE(analysis.rpo().reachable(0));
+    EXPECT_TRUE(analysis.loops.loops.empty());
+}
+
+TEST(Analysis, SurvivesEveryDegenerateFuzzShape)
+{
+    // The fuzzer's hand-built adversarial programs (single-block loops,
+    // dense indirect fan-out, deep call chains, ...) must all analyze
+    // without a panic, and the results must satisfy the loop-forest
+    // invariants the lint rules rely on.
+    for (std::size_t kind = 0; kind < numDegenerateKinds(); ++kind) {
+        for (const std::uint64_t seed : {1u, 4u}) {
+            const Program program = degenerateProgram(kind, seed);
+            for (ProcId id = 0; id < program.numProcs(); ++id) {
+                const Procedure &proc = program.proc(id);
+                const ProcAnalysis analysis = ProcAnalysis::of(proc);
+                EXPECT_LE(analysis.rpo().order.size(), proc.numBlocks())
+                    << degenerateKindName(kind);
+                for (const NaturalLoop &loop : analysis.loops.loops) {
+                    EXPECT_TRUE(analysis.rpo().reachable(loop.header));
+                    EXPECT_TRUE(loop.contains(loop.header));
+                    for (const BlockId latch : loop.latches) {
+                        EXPECT_TRUE(loop.contains(latch));
+                        EXPECT_TRUE(analysis.doms.dominates(loop.header,
+                                                            latch))
+                            << degenerateKindName(kind) << ": back edge "
+                            << latch << " -> " << loop.header;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Analysis, CompilerShapedProgramsAreReducible)
+{
+    // The workload generator emits structured control flow; its loops
+    // must come out as natural loops, never as irreducible witnesses.
+    for (const std::uint64_t seed : {2u, 11u, 23u}) {
+        const Program program = fuzzProgram(seed);
+        for (ProcId id = 0; id < program.numProcs(); ++id) {
+            const ProcAnalysis analysis =
+                ProcAnalysis::of(program.proc(id));
+            EXPECT_FALSE(analysis.loops.irreducible())
+                << "seed " << seed << " proc " << id;
+        }
+    }
+}

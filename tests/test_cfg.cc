@@ -250,7 +250,7 @@ TEST(Validate, CallOverlappingTerminator)
     const auto errors = validate(program);
     bool found = false;
     for (const auto &error : errors)
-        found |= error.message.find("overlaps terminator") !=
+        found |= error.message.find("overlaps the terminator") !=
                  std::string::npos;
     EXPECT_TRUE(found);
 }

@@ -97,7 +97,8 @@ std::vector<Diagnostic>
 layoutDiags(const Program &program, const ProgramLayout &layout)
 {
     std::vector<Diagnostic> sink;
-    lintLayout(program, layout, "test-arch", "test-algo", sink);
+    lintLayout(program, layout, "test-arch", "test-algo", LintOptions{},
+               sink);
     return sink;
 }
 
@@ -245,6 +246,32 @@ TEST(Lint, DeadEndWarnsOnSuccessorlessFallThrough)
             << formatDiagnostic(diagnostic);
 }
 
+TEST(Lint, IrreducibleFiresOnMultiEntryLoop)
+{
+    // b1 and b2 cycle through each other and BOTH are entered from the
+    // head: neither dominates the other, so no natural loop exists and
+    // the retreating edge b2 -> b1 witnesses the irreducible region.
+    Program program("irreducible");
+    const ProcId main_id = program.addProc("main");
+    CfgBuilder b(program.proc(main_id));
+    const BlockId head = b.block(2, Terminator::CondBranch);
+    const BlockId left = b.block(3, Terminator::UncondBranch);
+    const BlockId right = b.block(2, Terminator::CondBranch);
+    const BlockId exit = b.block(1, Terminator::Return);
+    b.taken(head, left, 0, 0.5);
+    b.fallThrough(head, right, 0, 0.5);
+    b.taken(left, right, 0);
+    b.taken(right, left, 0, 0.5);
+    b.fallThrough(right, exit, 0, 0.5);
+
+    const std::vector<Diagnostic> diags = cfgDiags(program);
+    EXPECT_TRUE(hasRule(diags, "cfg.irreducible", 0, right));
+    // The region is a warning, not an error: the program is executable,
+    // it just defeats the header-anchored layout heuristics.
+    EXPECT_EQ(findLintRule("cfg.irreducible")->severity,
+              Severity::Warning);
+}
+
 // ---------------------------------------------------------------------
 // prof.* injections.
 
@@ -298,6 +325,66 @@ TEST(Lint, BiasRangeFiresOnNonProbability)
     program.proc(0).edge(0).bias = 1.5;
     EXPECT_TRUE(hasRule(profDiags(program), "prof.bias-range", 0,
                         program.proc(0).edge(0).src));
+}
+
+TEST(Lint, LoopFlowFiresWhenLoopEmitsMoreThanEntered)
+{
+    // A loop whose recorded exit weight exceeds its entry weight: every
+    // path into a reducible loop passes through the header, so such a
+    // profile cannot have been recorded by any single walk. The weights
+    // are written by hand — this is precisely the inconsistency a real
+    // profiler can never produce.
+    Program program("loop-flow");
+    const ProcId main_id = program.addProc("main");
+    CfgBuilder b(program.proc(main_id));
+    const BlockId entry = b.block(2, Terminator::FallThrough);
+    const BlockId head = b.block(2, Terminator::CondBranch);
+    const BlockId body = b.block(3, Terminator::UncondBranch);
+    const BlockId exit = b.block(1, Terminator::Return);
+    b.fallThrough(entry, head, 0);          // the loop is never entered...
+    b.taken(head, body, 10, 0.5);
+    b.fallThrough(head, exit, 10, 0.5);     // ...yet emits weight 10
+    b.taken(body, head, 10);
+
+    EXPECT_TRUE(hasRule(profDiags(program), "prof.flow", 0, head));
+}
+
+TEST(Lint, LoopFlowFiresWhenLoopSwallowsPastTheSlack)
+{
+    // Entries far exceed exits: more activations are stranded inside the
+    // loop than any truncated walk could account for.
+    Program program("loop-swallow");
+    const ProcId main_id = program.addProc("main");
+    CfgBuilder b(program.proc(main_id));
+    const BlockId entry = b.block(2, Terminator::FallThrough);
+    const BlockId head = b.block(2, Terminator::CondBranch);
+    const BlockId body = b.block(3, Terminator::UncondBranch);
+    const BlockId exit = b.block(1, Terminator::Return);
+    b.fallThrough(entry, head, 1'000);
+    b.taken(head, body, 900, 0.5);
+    b.fallThrough(head, exit, 2, 0.5);      // 998 activations vanish
+    b.taken(body, head, 900);
+
+    EXPECT_TRUE(hasRule(profDiags(program), "prof.flow", 0, head));
+}
+
+TEST(Lint, LoopFlowQuietOnTruncatedWalkResidue)
+{
+    // The same shape with the imbalance inside the allowance (one
+    // activation stranded by the budget) must not fire.
+    Program program("loop-residue");
+    const ProcId main_id = program.addProc("main");
+    CfgBuilder b(program.proc(main_id));
+    const BlockId entry = b.block(2, Terminator::FallThrough);
+    const BlockId head = b.block(2, Terminator::CondBranch);
+    const BlockId body = b.block(3, Terminator::UncondBranch);
+    const BlockId exit = b.block(1, Terminator::Return);
+    b.fallThrough(entry, head, 10);
+    b.taken(head, body, 500, 0.5);
+    b.fallThrough(head, exit, 9, 0.5);
+    b.taken(body, head, 500);
+
+    EXPECT_FALSE(hasRule(profDiags(program), "prof.flow", 0, head));
 }
 
 // ---------------------------------------------------------------------
@@ -373,6 +460,50 @@ TEST(Lint, JumpNeededFiresOnKeptAdjacentJump)
     layout.procs[0].blocks[2].jumpRemoved = false;
     EXPECT_TRUE(hasRule(layoutDiags(program, layout), "layout.jump-needed",
                         0, 2));
+}
+
+TEST(Lint, LoopSplitNotesHotLoopSpreadAcrossSlots)
+{
+    // A hot two-block loop (header + latch, back-edge weight well past
+    // hotLoopWeight) whose latch is exiled to the end of the layout: the
+    // two hot blocks span three slots, costing a taken transfer per
+    // iteration.
+    Program program("loop-split");
+    const ProcId main_id = program.addProc("main");
+    CfgBuilder b(program.proc(main_id));
+    const BlockId head = b.block(2, Terminator::CondBranch);
+    const BlockId body = b.block(3, Terminator::UncondBranch);
+    const BlockId exit = b.block(1, Terminator::Return);
+    b.taken(head, body, 5'000, 0.9);
+    b.fallThrough(head, exit, 100, 0.1);
+    b.taken(body, head, 5'000);
+
+    ProgramLayout layout = originalLayout(program);
+    ProcLayout &pl = layout.procs[0];
+    // head, body, exit -> head, exit, body. Addresses are reflowed and
+    // the header's realization updated to the new adjacency, so the
+    // layout is exactly what a (bad) aligner would legally produce — the
+    // split is the only finding.
+    pl.order = {head, exit, body};
+    pl.blocks[head].cond = CondRealization::FallAdjacent;
+    Addr addr = pl.base;
+    for (std::uint32_t i = 0; i < pl.order.size(); ++i) {
+        const BlockId id = pl.order[i];
+        BlockLayout &bl = pl.blocks[id];
+        bl.orderIndex = i;
+        bl.addr = addr;
+        bl.branchAddr =
+            addr + program.proc(main_id).block(id).numInstrs - 1;
+        addr += bl.finalInstrs;
+    }
+
+    const std::vector<Diagnostic> diags = layoutDiags(program, layout);
+    EXPECT_TRUE(hasRule(diags, "layout.loop-split", 0, head));
+    EXPECT_EQ(diags.size(), 1u);
+    EXPECT_EQ(findLintRule("layout.loop-split")->severity, Severity::Note);
+    // The pristine original layout keeps the loop contiguous: no note.
+    EXPECT_FALSE(hasRule(layoutDiags(program, originalLayout(program)),
+                         "layout.loop-split", 0, head));
 }
 
 TEST(Lint, LayoutRulesCarryArchAlignerContext)

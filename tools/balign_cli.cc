@@ -48,8 +48,20 @@
  *       Programs are profiled first (the prof.* rules read recorded edge
  *       weights); repro files reuse their embedded walk parameters.
  *       --suite lints all 24 benchmark models instead of files. --json
- *       emits one machine-readable report array on stdout. Exit status 1
- *       when any program has lint errors.
+ *       emits one machine-readable report array on stdout.
+ *
+ *   balign verify <FILE>... [--json] [-o DIR] [--instrs N] [--seed S]
+ *   balign verify --suite [--json] [-o DIR] [--instrs N] [--seed S]
+ *       Translation validation: align each program under every
+ *       (objective, architecture, aligner) combination the experiments
+ *       run and statically prove every layout semantically equivalent to
+ *       its program, emitting one machine-checkable certificate per
+ *       layout. -o DIR writes one certificate-bearing JSON report per
+ *       program into DIR.
+ *
+ *   Exit-code contract (lint and verify): 0 = clean, 1 = findings
+ *   (lint errors / failed proof obligations), 2 = usage or IO error.
+ *   Other subcommands exit 1 on any error.
  *
  * Architectures: fallthrough btfnt likely pht gshare btb-small btb-large.
  * Algorithms: greedy cost try15 exttsp.
@@ -61,6 +73,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -74,6 +87,7 @@
 #include "layout/materialize.h"
 #include "lint/lint.h"
 #include "sim/runner.h"
+#include "verify/driver.h"
 #include "support/log.h"
 #include "support/table.h"
 #include "support/thread_pool.h"
@@ -452,11 +466,17 @@ cmdRepro(const Args &args)
     return 1;
 }
 
+/**
+ * Collects (display name, profiled program) pairs for the static
+ * subcommands (lint / verify): either the 24-program benchmark suite or
+ * the given files, profiled with their embedded walk parameters. Returns
+ * 0, or 2 for a usage or IO error (printed to stderr) — the static
+ * subcommands reserve exit 1 for findings.
+ */
 int
-cmdLint(const Args &args)
+collectStaticInputs(const Args &args, const char *command,
+                    std::vector<std::pair<std::string, Program>> &inputs)
 {
-    // (name, profiled program) pairs to verify.
-    std::vector<std::pair<std::string, Program>> inputs;
     auto profile_with = [](Program &program, std::uint64_t seed,
                            std::uint64_t budget) {
         program.clearWeights();
@@ -473,23 +493,44 @@ cmdLint(const Args &args)
             profile_with(program, args.seed, args.instrs);
             inputs.emplace_back(program.name(), std::move(program));
         }
-    } else {
-        if (args.positional.empty())
-            fatal("lint: need input files or --suite");
-        for (const std::string &path : args.positional) {
-            std::optional<Repro> repro = loadRepro(path);
-            if (!repro.has_value())
-                fatal("lint: cannot load %s", path.c_str());
-            if (args.instrsSet)
-                repro->walk.instrBudget = args.instrs;
-            profile_with(repro->program, repro->walk.seed,
-                         repro->walk.instrBudget);
-            inputs.emplace_back(path, std::move(repro->program));
-        }
+        return 0;
     }
+    if (args.positional.empty()) {
+        std::fprintf(stderr, "%s: need input files or --suite\n", command);
+        return 2;
+    }
+    for (const std::string &path : args.positional) {
+        std::optional<Repro> repro = loadRepro(path);
+        if (!repro.has_value()) {
+            std::fprintf(stderr, "%s: cannot load %s\n", command,
+                         path.c_str());
+            return 2;
+        }
+        if (args.instrsSet)
+            repro->walk.instrBudget = args.instrs;
+        profile_with(repro->program, repro->walk.seed,
+                     repro->walk.instrBudget);
+        inputs.emplace_back(path, std::move(repro->program));
+    }
+    return 0;
+}
 
+int
+cmdLint(const Args &args)
+{
+    std::vector<std::pair<std::string, Program>> inputs;
+    if (const int status = collectStaticInputs(args, "lint", inputs))
+        return status;
+
+    const std::optional<ObjectiveKind> objective =
+        parseObjectiveKind(args.objective);
+    if (!objective.has_value()) {
+        std::fprintf(stderr, "lint: unknown objective '%s'\n",
+                     args.objective.c_str());
+        return 2;
+    }
     LintRunOptions run;
-    run.align.objective = parseObjective(args.objective);
+    run.align.objective = *objective;
 
     std::size_t total_errors = 0;
     std::size_t total_warnings = 0;
@@ -517,6 +558,71 @@ cmdLint(const Args &args)
     return total_errors == 0 ? 0 : 1;
 }
 
+int
+cmdVerify(const Args &args)
+{
+    std::vector<std::pair<std::string, Program>> inputs;
+    if (const int status = collectStaticInputs(args, "verify", inputs))
+        return status;
+
+    VerifyRunOptions run;
+    if (args.objectiveSet) {
+        const std::optional<ObjectiveKind> objective =
+            parseObjectiveKind(args.objective);
+        if (!objective.has_value()) {
+            std::fprintf(stderr, "verify: unknown objective '%s'\n",
+                         args.objective.c_str());
+            return 2;
+        }
+        run.objectives = {*objective};
+    } else {
+        run.objectives = allObjectiveKinds();
+    }
+
+    std::size_t total_failed = 0;
+    std::size_t total_layouts = 0;
+    bool first = true;
+    if (args.json)
+        std::cout << "[\n";
+    for (const auto &[name, program] : inputs) {
+        const VerifyRunReport report = verifyProgramLayouts(program, run);
+        total_failed += report.failedLayouts;
+        total_layouts += report.layoutsVerified;
+        if (args.json) {
+            if (!first)
+                std::cout << ",\n";
+            writeVerifyReportJson(report, name, std::cout);
+        } else {
+            std::cout << formatVerifyReport(report, name);
+        }
+        first = false;
+        if (!args.output.empty()) {
+            // One certificate-bearing report file per program.
+            std::string file = program.name();
+            for (char &c : file) {
+                if (c == '/' || c == '\\')
+                    c = '_';
+            }
+            const std::string path =
+                args.output + "/" + file + ".verify.json";
+            std::ofstream out(path);
+            if (!out) {
+                std::fprintf(stderr, "verify: cannot write %s\n",
+                             path.c_str());
+                return 2;
+            }
+            writeVerifyReportJson(report, name, out);
+            out << "\n";
+        }
+    }
+    if (args.json)
+        std::cout << "\n]\n";
+    else
+        std::printf("verify: %zu program(s): %zu of %zu layout(s) failed\n",
+                    inputs.size(), total_failed, total_layouts);
+    return total_failed == 0 ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -534,6 +640,8 @@ usage()
         "  fuzz [--seeds N] [--instrs N] [-o DIR]     differential fuzzing\n"
         "  repro <FILE> [--instrs N]                  replay one repro\n"
         "  lint <FILE>...|--suite [--json]            static verification\n"
+        "  verify <FILE>...|--suite [--json] [-o DIR] prove layouts, emit\n"
+        "                                             certificates\n"
         "options:\n"
         "  --algo greedy|cost|try15|exttsp|original   alignment algorithm\n"
         "  --objective table-cost|exttsp              alignment objective\n"
@@ -572,6 +680,8 @@ main(int argc, char **argv)
         return cmdRepro(args);
     if (command == "lint")
         return cmdLint(args);
+    if (command == "verify")
+        return cmdVerify(args);
     usage();
     return 2;
 }

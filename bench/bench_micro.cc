@@ -9,6 +9,9 @@
 #include <benchmark/benchmark.h>
 
 #include "bpred/btb.h"
+#include "check/differ.h"
+#include "sim/batch_replay.h"
+#include "support/saturating_counter.h"
 #include "bpred/evaluator.h"
 #include "bpred/gshare.h"
 #include "bpred/pht.h"
@@ -182,6 +185,102 @@ BM_EvaluateTrace(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * 200'000);
 }
 BENCHMARK(BM_EvaluateTrace);
+
+// One batched sweep evaluating ALL architectures at once against the
+// recorded trace, vs the per-cell reference path doing one full replay
+// per architecture. items_processed counts trace instructions times
+// lanes, so the items/s ratio is the per-lane replay speedup.
+void
+BM_ReplayBatched(benchmark::State &state)
+{
+    const PreparedProgram prepared = prepareProgram(mediumSpec());
+    const ProgramLayout layout = originalLayout(prepared.program);
+    std::vector<EvalParams> lanes;
+    for (const Arch arch : allArchs())
+        lanes.push_back(EvalParams::forArch(arch));
+    for (auto _ : state) {
+        const std::vector<EvalResult> results = runBatchReplay(
+            prepared.program, layout, *prepared.batch, lanes);
+        benchmark::DoNotOptimize(results[0].instrs);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            200'000 *
+                            static_cast<std::int64_t>(lanes.size()));
+}
+BENCHMARK(BM_ReplayBatched);
+
+void
+BM_ReplayPerCell(benchmark::State &state)
+{
+    const PreparedProgram prepared = prepareProgram(mediumSpec());
+    const ProgramLayout layout = originalLayout(prepared.program);
+    for (auto _ : state) {
+        std::uint64_t instrs = 0;
+        for (const Arch arch : allArchs()) {
+            ArchEvaluator eval(prepared.program, layout,
+                               EvalParams::forArch(arch));
+            prepared.trace->replay(prepared.program, eval.sink());
+            instrs += eval.result().instrs;
+        }
+        benchmark::DoNotOptimize(instrs);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            200'000 *
+                            static_cast<std::int64_t>(allArchs().size()));
+}
+BENCHMARK(BM_ReplayPerCell);
+
+// The branchless saturating-counter update (arithmetic clamp) the SoA
+// predictor tables use, vs the compare-and-step member function.
+void
+BM_CounterBranchless(benchmark::State &state)
+{
+    Rng rng(7);
+    std::vector<std::uint8_t> table(4096, 1);
+    std::vector<std::uint32_t> sites(8192);
+    std::vector<std::uint8_t> outcomes(8192);
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        sites[i] = static_cast<std::uint32_t>(rng.nextBounded(4096));
+        outcomes[i] = rng.nextBool(0.6) ? 1 : 0;
+    }
+    std::uint64_t mispredicts = 0;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < sites.size(); ++i) {
+            const std::uint8_t value = table[sites[i]];
+            mispredicts += saturatingTaken(value, 3) != (outcomes[i] != 0);
+            table[sites[i]] = saturatingUpdate(value, 3, outcomes[i] != 0);
+        }
+    }
+    benchmark::DoNotOptimize(mispredicts);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(sites.size()));
+}
+BENCHMARK(BM_CounterBranchless);
+
+void
+BM_CounterBranchy(benchmark::State &state)
+{
+    Rng rng(7);
+    std::vector<SaturatingCounter> table(4096);
+    std::vector<std::uint32_t> sites(8192);
+    std::vector<std::uint8_t> outcomes(8192);
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        sites[i] = static_cast<std::uint32_t>(rng.nextBounded(4096));
+        outcomes[i] = rng.nextBool(0.6) ? 1 : 0;
+    }
+    std::uint64_t mispredicts = 0;
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < sites.size(); ++i) {
+            SaturatingCounter &counter = table[sites[i]];
+            mispredicts += counter.taken() != (outcomes[i] != 0);
+            counter.update(outcomes[i] != 0);
+        }
+    }
+    benchmark::DoNotOptimize(mispredicts);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(sites.size()));
+}
+BENCHMARK(BM_CounterBranchy);
 
 }  // namespace
 

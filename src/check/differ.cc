@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "sim/batch_replay.h"
 #include "support/log.h"
 #include "trace/walker.h"
 
@@ -17,6 +18,7 @@ divergenceKindName(DivergenceKind kind)
       case DivergenceKind::Counters: return "counters";
       case DivergenceKind::Lint: return "lint";
       case DivergenceKind::Verify: return "verify";
+      case DivergenceKind::Batch: return "batch";
     }
     return "?";
 }
@@ -266,6 +268,24 @@ diffLayout(const PreparedProgram &prepared, const ProgramLayout &layout,
         divergence.kind = DivergenceKind::Counters;
         divergence.detail = counters;
         return divergence;
+    }
+
+    // 4. The batched replay engine vs. the (just-validated) per-cell
+    // evaluator: same layout, one single-lane batched sweep. In the
+    // comparison below "oracle" is the per-cell ArchEvaluator and
+    // "production" is the batched lane.
+    if (prepared.batch != nullptr) {
+        const std::vector<EvalResult> lanes =
+            runBatchReplay(program, layout, *prepared.batch, {params});
+        const std::string batch =
+            compareResults(production.result(), lanes[0]);
+        if (!batch.empty()) {
+            divergence.kind = DivergenceKind::Batch;
+            divergence.detail =
+                "batched engine vs per-cell evaluator "
+                "(oracle=per-cell, production=batched):\n" + batch;
+            return divergence;
+        }
     }
     return std::nullopt;
 }

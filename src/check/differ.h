@@ -5,7 +5,7 @@
  * One recorded event stream is fanned out to both sides at once — the
  * production BranchEventAdapter -> ArchEvaluator chain (the exact code the
  * experiments run) and the naive OracleEvaluator — and the two resulting
- * branch-event streams are compared sample by sample. Three things can
+ * branch-event streams are compared sample by sample. Four things can
  * diverge, checked in order:
  *
  *  1. Structural: the materializer's address/size bookkeeping disagrees
@@ -16,6 +16,9 @@
  *     surrounding context.
  *  3. Counters: the streams matched but the accumulated EvalResult
  *     totals do not (an accounting bug outside the per-event path).
+ *  4. Batch: the batched replay engine (sim/batch_replay.h) run as a
+ *     single lane over the same layout disagrees with the per-cell
+ *     evaluator it is pinned to.
  *
  * diffPrepared() mirrors runConfigs() layout construction exactly
  * (per-architecture cost models, the BT/FNT chain-ordering override) so
@@ -44,6 +47,9 @@ enum class DivergenceKind : std::uint8_t {
                  ///< before any trace was replayed
     Verify,      ///< the layout verifier (verify/verify.h) could not prove
                  ///< a layout semantically equivalent to its program
+    Batch,       ///< the batched replay engine (sim/batch_replay.h)
+                 ///< disagrees with the per-cell ArchEvaluator on some
+                 ///< EvalResult counter
 };
 
 /// Printable kind name.

@@ -783,6 +783,8 @@ runFuzz(const FuzzOptions &options)
             ++report.lintHits;
         if (report.divergences.back().kind == DivergenceKind::Verify)
             ++report.verifyHits;
+        if (report.divergences.back().kind == DivergenceKind::Batch)
+            ++report.batchHits;
 
         std::string path;
         if (!options.corpusDir.empty()) {

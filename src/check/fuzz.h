@@ -102,6 +102,9 @@ struct FuzzReport
     std::uint64_t lintHits = 0;
     /// Findings of kind DivergenceKind::Verify among `divergences`.
     std::uint64_t verifyHits = 0;
+    /// Findings of kind DivergenceKind::Batch among `divergences`
+    /// (batched replay engine vs per-cell evaluator).
+    std::uint64_t batchHits = 0;
     /// First divergence per diverging seed, AFTER shrinking.
     std::vector<Divergence> divergences;
     /// Repro files written (parallel to divergences; empty string when

@@ -4,18 +4,36 @@
 #include <memory>
 
 #include "layout/materialize.h"
+#include "sim/batch_replay.h"
 #include "support/log.h"
 #include "trace/profiler.h"
 #include "workload/generator.h"
 
 namespace balign {
 
+void
+ExperimentRun::buildCellIndex()
+{
+    cellIndex.clear();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        cellIndex.emplace(
+            std::make_pair(cells[i].config.arch, cells[i].config.kind), i);
+    }
+}
+
 const ExperimentCell &
 ExperimentRun::cell(Arch arch, AlignerKind kind) const
 {
-    for (const auto &cell : cells) {
-        if (cell.config.arch == arch && cell.config.kind == kind)
-            return cell;
+    if (!cellIndex.empty()) {
+        const auto found = cellIndex.find(std::make_pair(arch, kind));
+        if (found != cellIndex.end())
+            return cells[found->second];
+    } else {
+        // Hand-assembled runs (tests) may not have built the index.
+        for (const auto &cell : cells) {
+            if (cell.config.arch == arch && cell.config.kind == kind)
+                return cell;
+        }
     }
     fatal("ExperimentRun(%s): no cell for %s/%s", name.c_str(),
           archName(arch), alignerKindName(kind));
@@ -43,6 +61,10 @@ prepareProgram(Program program, const WalkOptions &walk,
     prepared.stats = profiler.stats();
     prepared.trace =
         std::make_shared<const RecordedTrace>(recorder.take());
+    // Canonical batched form: one extra pass now, paid back every time
+    // runConfigs sweeps a layout group (sim/batch_replay.h).
+    prepared.batch = std::make_shared<const BatchTrace>(prepared.program,
+                                                        *prepared.trace);
     return prepared;
 }
 
@@ -152,41 +174,74 @@ runConfigs(const PreparedProgram &prepared,
                 align_one(i);
     }
 
-    // One evaluator per configuration, each fed by its own independent
-    // replay of the recorded trace.
-    std::vector<std::unique_ptr<ArchEvaluator>> evaluators(configs.size());
-    auto replay_one = [&](std::size_t i) {
-        const ProgramLayout &layout =
-            *layouts[key_index.at(layout_key(configs[i]))];
-        evaluators[i] = std::make_unique<ArchEvaluator>(
-            program, layout, EvalParams::forArch(configs[i].arch));
-        feedTrace(prepared, evaluators[i]->sink());
-    };
+    // Evaluate every configuration. Batched engine: the cells sharing a
+    // layout are lanes of ONE sweep, and the pool parallelizes across
+    // layout groups. Per-cell reference engine: one ArchEvaluator fed by
+    // its own independent replay per cell.
+    const bool batched = context.engine == ReplayEngine::Batched &&
+                         prepared.batch != nullptr;
+    std::vector<EvalResult> results(configs.size());
     {
         ScopedPhaseTimer timer(context.times, "replay");
-        if (context.pool != nullptr)
-            context.pool->parallelFor(configs.size(), replay_one);
-        else
+        if (batched) {
+            std::vector<std::vector<std::size_t>> members(keys.size());
             for (std::size_t i = 0; i < configs.size(); ++i)
-                replay_one(i);
+                members[key_index.at(layout_key(configs[i]))].push_back(i);
+            auto replay_group = [&](std::size_t k) {
+                std::vector<EvalParams> lanes;
+                lanes.reserve(members[k].size());
+                for (const std::size_t i : members[k])
+                    lanes.push_back(EvalParams::forArch(configs[i].arch));
+                const std::vector<EvalResult> lane_results =
+                    runBatchReplay(program, *layouts[k], *prepared.batch,
+                                   lanes);
+                for (std::size_t j = 0; j < members[k].size(); ++j)
+                    results[members[k][j]] = lane_results[j];
+            };
+            if (context.pool != nullptr)
+                context.pool->parallelFor(keys.size(), replay_group);
+            else
+                for (std::size_t k = 0; k < keys.size(); ++k)
+                    replay_group(k);
+        } else {
+            auto replay_one = [&](std::size_t i) {
+                const ProgramLayout &layout =
+                    *layouts[key_index.at(layout_key(configs[i]))];
+                ArchEvaluator evaluator(
+                    program, layout, EvalParams::forArch(configs[i].arch));
+                feedTrace(prepared, evaluator.sink());
+                results[i] = evaluator.result();
+            };
+            if (context.pool != nullptr)
+                context.pool->parallelFor(configs.size(), replay_one);
+            else
+                for (std::size_t i = 0; i < configs.size(); ++i)
+                    replay_one(i);
+        }
     }
 
     // The original-layout instruction count anchors every relative CPI.
     std::uint64_t orig_instrs = 0;
     for (std::size_t i = 0; i < configs.size(); ++i) {
         if (configs[i].kind == AlignerKind::Original) {
-            orig_instrs = evaluators[i]->result().instrs;
+            orig_instrs = results[i].instrs;
             break;
         }
     }
     if (orig_instrs == 0) {
-        // No Original configuration requested: evaluate one on the fly.
+        // No Original configuration requested: the count is architecture
+        // independent, so layout-level accounting over the recorded
+        // activation histogram recovers it without replaying the trace.
         ScopedPhaseTimer timer(context.times, "replay");
         const ProgramLayout orig = originalLayout(program);
-        ArchEvaluator eval(program, orig,
-                           EvalParams::forArch(Arch::BtFnt));
-        feedTrace(prepared, eval.sink());
-        orig_instrs = eval.result().instrs;
+        if (prepared.batch != nullptr) {
+            orig_instrs = batchLayoutInstrs(*prepared.batch, orig);
+        } else {
+            ArchEvaluator eval(program, orig,
+                               EvalParams::forArch(Arch::BtFnt));
+            feedTrace(prepared, eval.sink());
+            orig_instrs = eval.result().instrs;
+        }
     }
     run.origInstrs = orig_instrs;
 
@@ -194,10 +249,11 @@ runConfigs(const PreparedProgram &prepared,
     for (std::size_t i = 0; i < configs.size(); ++i) {
         ExperimentCell cell;
         cell.config = configs[i];
-        cell.eval = evaluators[i]->result();
+        cell.eval = results[i];
         cell.relCpi = cell.eval.relativeCpi(orig_instrs);
         run.cells.push_back(cell);
     }
+    run.buildCellIndex();
     return run;
 }
 

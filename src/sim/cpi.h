@@ -7,11 +7,15 @@
  * align the program and to measure the improvement").
  *
  * The profiling walk is captured once into a RecordedTrace
- * (trace/recorder.h); each configuration is then evaluated by replaying
- * the buffer, so no configuration ever re-executes walker control flow or
- * the RNG, and replays are independent — runConfigs schedules them across
- * a ThreadPool when one is supplied (see sim/runner.h for the suite-level
- * parallel driver). Results are bit-identical regardless of thread count.
+ * (trace/recorder.h) and canonicalized into a BatchTrace
+ * (sim/batch_replay.h). By default every distinct layout is then
+ * evaluated in ONE batched sweep that drives all of its configurations'
+ * predictors simultaneously; the per-cell ArchEvaluator replay remains
+ * selectable as the reference engine (RunContext::engine) and the two are
+ * pinned byte-identical by the `ctest -L replay` suite. Layout groups are
+ * independent, so runConfigs schedules them across a ThreadPool when one
+ * is supplied (see sim/runner.h for the suite-level parallel driver).
+ * Results are bit-identical regardless of thread count or engine.
  *
  * Layouts are shared where the paper shares them: Original and Greedy are
  * architecture-independent; Cost and TryN are re-run per architecture with
@@ -23,6 +27,7 @@
 #ifndef BALIGN_SIM_CPI_H
 #define BALIGN_SIM_CPI_H
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -37,6 +42,8 @@
 #include "workload/spec.h"
 
 namespace balign {
+
+struct BatchTrace;
 
 /// A (prediction architecture, alignment algorithm, alignment objective)
 /// triple to evaluate. The objective defaults to the paper's Table-1
@@ -65,6 +72,15 @@ struct ExperimentRun
     std::uint64_t origInstrs = 0;   ///< instructions under the original layout
     std::vector<ExperimentCell> cells;
 
+    /// (arch, kind) -> index of the first matching cell. Built once by
+    /// runConfigs so cell() is a map lookup instead of a linear scan
+    /// (benches call it in loops); rebuild with buildCellIndex() after
+    /// mutating `cells` by hand.
+    std::map<std::pair<Arch, AlignerKind>, std::size_t> cellIndex;
+
+    /// Rebuilds cellIndex from `cells` (first match wins, like the scan).
+    void buildCellIndex();
+
     /// Finds a cell; fatal() when the configuration was not evaluated.
     const ExperimentCell &cell(Arch arch, AlignerKind kind) const;
 };
@@ -82,6 +98,10 @@ struct PreparedProgram
     /// The profiling walk's event stream; evaluation replays this buffer.
     /// When null (hand-built PreparedProgram), runConfigs re-walks instead.
     std::shared_ptr<const RecordedTrace> trace;
+    /// The trace in canonical batched form (sim/batch_replay.h), built
+    /// alongside it by prepareProgram. When null, runConfigs falls back
+    /// to the per-cell reference path.
+    std::shared_ptr<const BatchTrace> batch;
 };
 
 /// Generates and profiles the program described by @p spec.
@@ -91,12 +111,26 @@ PreparedProgram prepareProgram(const ProgramSpec &spec);
 PreparedProgram prepareProgram(Program program, const WalkOptions &walk,
                                const std::string &name = "");
 
+/// Which engine evaluates the experiment cells.
+enum class ReplayEngine : std::uint8_t
+{
+    /// One batched sweep per distinct layout drives all of its cells
+    /// (sim/batch_replay.h). The default.
+    Batched,
+    /// Reference implementation: one ArchEvaluator replay per cell.
+    PerCell,
+};
+
 /// Optional execution context for runConfigs: a pool to spread alignment
-/// and per-configuration replays across, and a phase-time sink.
+/// and per-configuration replays across, a phase-time sink, and the
+/// replay-engine selector.
 struct RunContext
 {
     ThreadPool *pool = nullptr;   ///< null = run serially
     PhaseTimes *times = nullptr;  ///< accumulates "align" / "replay" seconds
+    /// Engine choice; the batched engine needs prepared.batch and falls
+    /// back to PerCell when it is absent.
+    ReplayEngine engine = ReplayEngine::Batched;
 };
 
 /**

@@ -77,6 +77,30 @@ class SaturatingCounter
     unsigned value_;
 };
 
+/**
+ * Branchless counterpart of SaturatingCounter::update() for
+ * structure-of-arrays predictor tables (sim/batch_replay.cc): the
+ * compare-and-step becomes an arithmetic clamp, which compiles to an add
+ * plus two conditional moves instead of a data-dependent branch. Produces
+ * the identical next state for every value in [0, max].
+ */
+inline std::uint8_t
+saturatingUpdate(std::uint8_t value, std::uint8_t max, bool taken)
+{
+    const int stepped = static_cast<int>(value) + (taken ? 1 : -1);
+    const int floored = stepped < 0 ? 0 : stepped;
+    const int ceiling = static_cast<int>(max);
+    return static_cast<std::uint8_t>(floored > ceiling ? ceiling : floored);
+}
+
+/// Direction a raw counter value predicts: the upper half of the range is
+/// taken, matching SaturatingCounter::taken().
+inline bool
+saturatingTaken(std::uint8_t value, std::uint8_t max)
+{
+    return value > max / 2;
+}
+
 }  // namespace balign
 
 #endif  // BALIGN_SUPPORT_SATURATING_COUNTER_H

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The `ctest -L replay` group: batched-vs-per-cell engine equivalence
+ * over the full 24-program benchmark suite and the fuzz corpus.
+ *
+ * Every suite program is prepared with a reduced trace budget and run
+ * through runConfigs twice — once per engine — over the full
+ * configuration matrix (8 architectures x 5 aligners under table-cost
+ * plus the ExtTSP-priced guided aligners). Every EvalResult counter of
+ * every cell must be byte-identical; so must origInstrs and the derived
+ * relative CPI. Corpus repros (including shrunk fuzzer findings) get the
+ * same treatment, so any program shape that ever broke the pipeline also
+ * pins the batched engine. New engine divergences found by the fuzzer
+ * land here automatically as DivergenceKind::Batch repro files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/differ.h"
+#include "check/fuzz.h"
+#include "sim/cpi.h"
+#include "workload/generator.h"
+#include "workload/suite.h"
+
+using namespace balign;
+
+namespace {
+
+constexpr std::uint64_t kSuiteBudget = 100'000;
+
+std::vector<std::uint64_t>
+counters(const EvalResult &r)
+{
+    return {r.instrs,     r.misfetches, r.mispredicts,
+            r.condExec,   r.condTaken,  r.condMispredicts,
+            r.uncondExec, r.callExec,   r.returnExec,
+            r.returnMispredicts, r.indirectExec,
+            r.btbHits,    r.btbLookups};
+}
+
+std::vector<ExperimentConfig>
+fullConfigMatrix()
+{
+    std::vector<ExperimentConfig> configs;
+    for (const Arch arch : allArchs()) {
+        for (const AlignerKind kind : allAlignerKindsExtended())
+            configs.push_back({arch, kind});
+    }
+    for (const Arch arch : allArchs()) {
+        configs.push_back({arch, AlignerKind::Cost, ObjectiveKind::ExtTsp});
+        configs.push_back({arch, AlignerKind::Try15, ObjectiveKind::ExtTsp});
+    }
+    return configs;
+}
+
+void
+expectEnginesAgree(const PreparedProgram &prepared, const std::string &label)
+{
+    const std::vector<ExperimentConfig> configs = fullConfigMatrix();
+    RunContext batched;
+    batched.engine = ReplayEngine::Batched;
+    RunContext per_cell;
+    per_cell.engine = ReplayEngine::PerCell;
+    const ExperimentRun fast = runConfigs(prepared, configs, {}, batched);
+    const ExperimentRun slow = runConfigs(prepared, configs, {}, per_cell);
+
+    ASSERT_EQ(fast.cells.size(), slow.cells.size()) << label;
+    EXPECT_EQ(fast.origInstrs, slow.origInstrs) << label;
+    for (std::size_t i = 0; i < fast.cells.size(); ++i) {
+        EXPECT_EQ(counters(fast.cells[i].eval),
+                  counters(slow.cells[i].eval))
+            << label << ": " << archName(configs[i].arch) << "/"
+            << alignerKindName(configs[i].kind) << "/"
+            << objectiveKindName(configs[i].objective);
+        EXPECT_EQ(fast.cells[i].relCpi, slow.cells[i].relCpi) << label;
+    }
+}
+
+std::vector<std::string>
+corpusFiles()
+{
+    std::vector<std::string> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(BALIGN_CORPUS_DIR)) {
+        if (entry.path().extension() == ".balign")
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+class ReplaySuite : public testing::TestWithParam<std::string>
+{
+};
+
+}  // namespace
+
+TEST_P(ReplaySuite, EnginesByteIdentical)
+{
+    ProgramSpec spec = suiteSpec(GetParam());
+    spec.traceInstrs = kSuiteBudget;
+    expectEnginesAgree(prepareProgram(spec), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite24, ReplaySuite, [] {
+    std::vector<std::string> names;
+    for (const ProgramSpec &spec : benchmarkSuite())
+        names.push_back(spec.name);
+    return testing::ValuesIn(names);
+}(), [](const testing::TestParamInfo<std::string> &param) {
+    std::string name = param.param;
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+});
+
+TEST(ReplayCorpus, EnginesByteIdenticalOnEveryRepro)
+{
+    const std::vector<std::string> files = corpusFiles();
+    ASSERT_GE(files.size(), 3u);
+    for (const std::string &path : files) {
+        const std::optional<Repro> repro = loadRepro(path);
+        ASSERT_TRUE(repro.has_value()) << path;
+        const PreparedProgram prepared =
+            prepareProgram(repro->program, repro->walk);
+        expectEnginesAgree(
+            prepared, std::filesystem::path(path).stem().string());
+    }
+}

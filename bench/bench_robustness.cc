@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Profile robustness: CPI-degradation curves and incremental realignment.
+ *
+ * Part 1 — curves. Every suite program is aligned on a *degraded* copy of
+ * its profile and measured on the true recorded trace (the
+ * ExperimentConfig degrade axis), for a 2x2 contender matrix (Cost and
+ * Try15 under the Table-1 and ExtTSP objectives) crossed with every
+ * degradation family (profile/degrade.h) along a severity ladder:
+ * sampling 1/N, stale inputs, multiplicative noise eps, cross-input
+ * merges, and adversarial drift t. The curve value is the suite-mean
+ * relative CPI (vs. the original layout, BT/FNT); the true-profile
+ * alignment is the zero point every curve is read against.
+ *
+ * Part 2 — incremental realignment. For each program and contender the
+ * profile is moved (perturb eps=0.5) and realignProgram sweeps a
+ * threshold ladder from 0 (full realignment) to infinity (keep the old
+ * layout). Reported per threshold: the fraction of procedures
+ * re-laid-out (the cost) and the suite-mean relative CPI of the spliced
+ * layout measured on the true recorded trace (the quality), plus
+ * byte-identity checks at both endpoints (layout_diff.h).
+ *
+ * Flags:
+ *   --quick   cap the per-program trace at 50k instructions (CI smoke;
+ *             BALIGN_TRACE_INSTRS still wins when set)
+ *   --json    emit one machine-readable JSON document on stdout instead
+ *             of the tables
+ */
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/realign.h"
+#include "layout/layout_diff.h"
+#include "layout/materialize.h"
+#include "profile/degrade.h"
+#include "sim/batch_replay.h"
+#include "sim/runner.h"
+#include "support/log.h"
+#include "support/table.h"
+
+using namespace balign;
+
+namespace {
+
+constexpr Arch kArch = Arch::BtFnt;
+
+struct Contender
+{
+    const char *label;
+    AlignerKind kind;
+    ObjectiveKind objective;
+};
+
+const Contender kContenders[] = {
+    {"cost/table-cost", AlignerKind::Cost, ObjectiveKind::TableCost},
+    {"cost/exttsp", AlignerKind::Cost, ObjectiveKind::ExtTsp},
+    {"try15/table-cost", AlignerKind::Try15, ObjectiveKind::TableCost},
+    {"try15/exttsp", AlignerKind::Try15, ObjectiveKind::ExtTsp},
+};
+
+constexpr std::size_t kNumContenders =
+    sizeof(kContenders) / sizeof(kContenders[0]);
+
+DegradeSpec
+makeSpec(DegradeKind kind, std::uint32_t n, double param,
+         std::uint64_t seed)
+{
+    DegradeSpec spec;
+    spec.kind = kind;
+    spec.n = n;
+    spec.param = param;
+    spec.seed = seed;
+    return spec;
+}
+
+/// The severity ladder for every degradation family; the leading None is
+/// the zero point of every curve.
+std::vector<DegradeSpec>
+severityLadder()
+{
+    std::vector<DegradeSpec> ladder;
+    ladder.push_back(DegradeSpec::none());
+    for (const std::uint32_t n : {4u, 16u, 64u, 256u})
+        ladder.push_back(makeSpec(DegradeKind::Sample, n, 0.0, 1));
+    for (const std::uint64_t seed : {2u, 3u, 4u})
+        ladder.push_back(makeSpec(DegradeKind::Stale, 0, 0.0, seed));
+    for (const double eps : {0.25, 0.5, 1.0, 2.0})
+        ladder.push_back(makeSpec(DegradeKind::Perturb, 0, eps, 1));
+    for (const std::uint32_t k : {1u, 3u, 7u})
+        ladder.push_back(makeSpec(DegradeKind::Merge, k, 0.0, 1));
+    for (const double t : {0.25, 0.5, 0.75, 1.0})
+        ladder.push_back(makeSpec(DegradeKind::Drift, 0, t, 1));
+    return ladder;
+}
+
+/// The realignment threshold ladder (labels double as JSON keys).
+struct ThresholdStep
+{
+    const char *label;
+    double value;
+};
+
+const ThresholdStep kThresholds[] = {
+    {"0", 0.0},         {"0.05", 0.05}, {"0.15", 0.15},
+    {"0.35", 0.35},     {"0.75", 0.75}, {"inf", kNeverRealign},
+};
+
+constexpr std::size_t kNumThresholds =
+    sizeof(kThresholds) / sizeof(kThresholds[0]);
+
+/// Per-threshold suite aggregates for one contender.
+struct RealignPoint
+{
+    double realignedFrac = 0.0;  ///< procedures re-laid-out / total
+    double relCpi = 0.0;         ///< spliced layout on the moved trace
+    bool identicalToFull = true; ///< threshold 0 == full alignProgram
+    bool identicalToOld = true;  ///< threshold inf == old layout
+};
+
+EvalResult
+evalLayout(const PreparedProgram &prepared, const ProgramLayout &layout)
+{
+    return runBatchReplay(prepared.program, layout, *prepared.batch,
+                          {EvalParams::forArch(kArch)})[0];
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+
+    bool quick = false;
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+        else
+            fatal("bench_robustness: unknown flag '%s'", argv[i]);
+    }
+
+    std::vector<ProgramSpec> suite = bench::tunedSuite(benchmarkSuite());
+    if (quick && std::getenv("BALIGN_TRACE_INSTRS") == nullptr) {
+        for (ProgramSpec &spec : suite)
+            spec.traceInstrs = 50'000;
+    }
+
+    const std::vector<DegradeSpec> ladder = severityLadder();
+    std::vector<ExperimentConfig> configs;
+    configs.push_back({kArch, AlignerKind::Original});
+    for (const Contender &contender : kContenders) {
+        for (const DegradeSpec &spec : ladder) {
+            ExperimentConfig config{kArch, contender.kind,
+                                    contender.objective};
+            config.degrade = spec;
+            configs.push_back(config);
+        }
+    }
+
+    const bench::WallClock wall;
+    PhaseTimes times;
+    RunnerOptions runner;
+    runner.times = &times;
+    const std::vector<ExperimentRun> runs = runSuite(suite, configs, runner);
+
+    // Part 1: suite-mean relative CPI per (contender, ladder point).
+    // Cell order inside each run mirrors `configs`.
+    std::vector<std::vector<double>> curves(
+        kNumContenders, std::vector<double>(ladder.size(), 0.0));
+    for (const ExperimentRun &run : runs) {
+        std::size_t cell = 1;  // skip the Original cell
+        for (std::size_t c = 0; c < kNumContenders; ++c) {
+            for (std::size_t p = 0; p < ladder.size(); ++p)
+                curves[c][p] += run.cells[cell++].relCpi;
+        }
+    }
+    for (auto &curve : curves) {
+        for (double &value : curve)
+            value /= static_cast<double>(runs.size());
+    }
+
+    // Part 2: the realignment threshold sweep against a moved profile.
+    const DegradeSpec moved_spec =
+        makeSpec(DegradeKind::Perturb, 0, 0.5, 99);
+    std::vector<std::vector<RealignPoint>> realign(
+        kNumContenders, std::vector<RealignPoint>(kNumThresholds));
+    for (const ProgramSpec &spec : suite) {
+        const PreparedProgram prepared = prepareProgram(spec);
+        // The moved profile: degraded weights on the same structure. A
+        // layout of `moved` is structurally a layout of the original, so
+        // quality is measured on the true recorded trace.
+        Program moved = prepared.program;
+        degradeProfile(moved, prepared.walk, moved_spec);
+        const std::uint64_t base =
+            evalLayout(prepared, originalLayout(prepared.program)).instrs;
+
+        for (std::size_t c = 0; c < kNumContenders; ++c) {
+            const Contender &contender = kContenders[c];
+            const CostModel model(kArch);
+            AlignOptions options;
+            options.objective = contender.objective;
+            options.chainOrder = ChainOrderPolicy::BtFntPrecedence;
+            const ProgramLayout old_layout = alignProgram(
+                prepared.program, contender.kind, &model, options);
+            const ProgramLayout full =
+                alignProgram(moved, contender.kind, &model, options);
+
+            for (std::size_t t = 0; t < kNumThresholds; ++t) {
+                RealignStats stats;
+                const ProgramLayout spliced = realignProgram(
+                    prepared.program, old_layout, moved, contender.kind,
+                    &model, options, kThresholds[t].value, &stats);
+                RealignPoint &point = realign[c][t];
+                point.realignedFrac +=
+                    static_cast<double>(stats.procsRealigned) /
+                    static_cast<double>(stats.procsTotal);
+                point.relCpi +=
+                    evalLayout(prepared, spliced).relativeCpi(base);
+                if (kThresholds[t].value == 0.0)
+                    point.identicalToFull = point.identicalToFull &&
+                                            layoutsIdentical(full, spliced);
+                if (kThresholds[t].value == kNeverRealign)
+                    point.identicalToOld =
+                        point.identicalToOld &&
+                        layoutsIdentical(old_layout, spliced);
+            }
+        }
+    }
+    for (auto &points : realign) {
+        for (RealignPoint &point : points) {
+            point.realignedFrac /= static_cast<double>(suite.size());
+            point.relCpi /= static_cast<double>(suite.size());
+        }
+    }
+
+    bool endpoints_ok = true;
+    for (const auto &points : realign) {
+        for (const RealignPoint &point : points)
+            endpoints_ok =
+                endpoints_ok && point.identicalToFull && point.identicalToOld;
+    }
+
+    if (json) {
+        std::ostream &os = std::cout;
+        os << "{\"bench\":\"robustness\",\"arch\":\"" << archName(kArch)
+           << "\",\"programs\":" << runs.size() << ",\"curves\":[";
+        for (std::size_t c = 0; c < kNumContenders; ++c) {
+            const Contender &contender = kContenders[c];
+            os << (c ? "," : "") << "{\"aligner\":\""
+               << alignerKindName(contender.kind) << "\",\"objective\":\""
+               << objectiveKindName(contender.objective)
+               << "\",\"points\":[";
+            for (std::size_t p = 0; p < ladder.size(); ++p) {
+                os << (p ? "," : "") << "{\"degrade\":\""
+                   << degradeKindName(ladder[p].kind)
+                   << "\",\"severity\":\"" << ladder[p].severityLabel()
+                   << "\",\"rel_cpi\":" << curves[c][p]
+                   << ",\"delta_vs_true\":" << curves[c][p] - curves[c][0]
+                   << "}";
+            }
+            os << "]}";
+        }
+        os << "],\"realign\":[";
+        for (std::size_t c = 0; c < kNumContenders; ++c) {
+            const Contender &contender = kContenders[c];
+            os << (c ? "," : "") << "{\"aligner\":\""
+               << alignerKindName(contender.kind) << "\",\"objective\":\""
+               << objectiveKindName(contender.objective)
+               << "\",\"moved\":\"" << degradeSpecLabel(moved_spec)
+               << "\",\"thresholds\":[";
+            for (std::size_t t = 0; t < kNumThresholds; ++t) {
+                const RealignPoint &point = realign[c][t];
+                os << (t ? "," : "") << "{\"threshold\":\""
+                   << kThresholds[t].label
+                   << "\",\"realigned_frac\":" << point.realignedFrac
+                   << ",\"rel_cpi\":" << point.relCpi;
+                if (kThresholds[t].value == 0.0)
+                    os << ",\"identical_to_full\":"
+                       << (point.identicalToFull ? "true" : "false");
+                if (kThresholds[t].value == kNeverRealign)
+                    os << ",\"identical_to_old\":"
+                       << (point.identicalToOld ? "true" : "false");
+                os << "}";
+            }
+            os << "]}";
+        }
+        os << "],\"endpoints_byte_identical\":"
+           << (endpoints_ok ? "true" : "false") << "}\n";
+    } else {
+        Table table({"Degradation", "Severity", "cost/tc", "cost/xt",
+                     "try15/tc", "try15/xt"});
+        for (std::size_t p = 0; p < ladder.size(); ++p) {
+            Table &row = table.row()
+                             .cell(degradeKindName(ladder[p].kind))
+                             .cell(ladder[p].severityLabel());
+            for (std::size_t c = 0; c < kNumContenders; ++c)
+                row.cell(curves[c][p], 3);
+        }
+        std::cout << "Robustness: suite-mean rel CPI, align-on-degraded / "
+                     "measure-on-true (BTFNT)\n\n";
+        table.print(std::cout);
+
+        Table rtable({"Threshold", "cost/tc frac", "cost/tc CPI",
+                      "try15/tc frac", "try15/tc CPI"});
+        for (std::size_t t = 0; t < kNumThresholds; ++t) {
+            rtable.row()
+                .cell(kThresholds[t].label)
+                .cell(realign[0][t].realignedFrac, 2)
+                .cell(realign[0][t].relCpi, 3)
+                .cell(realign[2][t].realignedFrac, 2)
+                .cell(realign[2][t].relCpi, 3);
+        }
+        std::cout << "\nIncremental realignment after "
+                  << degradeSpecLabel(moved_spec)
+                  << " (frac = procedures re-laid-out; CPI measured on "
+                     "the true trace)\n\n";
+        rtable.print(std::cout);
+        std::cout << "\nthreshold endpoints byte-identical: "
+                  << (endpoints_ok ? "yes" : "NO") << "\n";
+    }
+
+    std::cerr << bench::timingJson("robustness", defaultThreads(),
+                                   suite.size(), wall.seconds(), times)
+              << "\n";
+    if (!endpoints_ok) {
+        std::fprintf(stderr, "FAIL: a realignment threshold endpoint was "
+                             "not byte-identical\n");
+        return 1;
+    }
+    return 0;
+}

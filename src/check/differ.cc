@@ -19,6 +19,7 @@ divergenceKindName(DivergenceKind kind)
       case DivergenceKind::Lint: return "lint";
       case DivergenceKind::Verify: return "verify";
       case DivergenceKind::Batch: return "batch";
+      case DivergenceKind::Realign: return "realign";
     }
     return "?";
 }

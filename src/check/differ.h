@@ -50,6 +50,10 @@ enum class DivergenceKind : std::uint8_t {
     Batch,       ///< the batched replay engine (sim/batch_replay.h)
                  ///< disagrees with the per-cell ArchEvaluator on some
                  ///< EvalResult counter
+    Realign,     ///< incremental realignment (core/realign.h) broke its
+                 ///< contract: threshold-0 differs from a full
+                 ///< alignProgram, threshold-infinity differs from the old
+                 ///< layout, or a spliced layout failed verification
 };
 
 /// Printable kind name.

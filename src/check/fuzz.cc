@@ -6,9 +6,13 @@
 
 #include "cfg/serialize.h"
 #include "cfg/validate.h"
+#include "core/realign.h"
+#include "layout/layout_diff.h"
 #include "lint/lint.h"
+#include "profile/degrade.h"
 #include "support/log.h"
 #include "support/rng.h"
+#include "verify/verify.h"
 #include "workload/generator.h"
 
 namespace balign {
@@ -695,6 +699,87 @@ verifyGateCheck(const Program &program, const DiffOptions &options,
     return divergence;
 }
 
+std::optional<Divergence>
+realignGateCheck(const Program &program, const WalkOptions &walk,
+                 const DiffOptions &options)
+{
+    // Deterministic profile mutation: multiplicative noise moves some
+    // procedures past any mid-range divergence threshold while others
+    // stay below it, so the mid-threshold check splices a genuine mix of
+    // old and fresh procedure layouts.
+    Program degraded = program;
+    DegradeSpec spec;
+    spec.kind = DegradeKind::Perturb;
+    spec.param = 0.5;
+    spec.seed = 0x5EED5EEDull;
+    degradeProfile(degraded, walk, spec);
+
+    const std::vector<AlignerKind> kinds =
+        options.kinds.empty() ? allAlignerKindsExtended() : options.kinds;
+    const std::vector<ObjectiveKind> objectives =
+        options.objectives.empty()
+            ? std::vector<ObjectiveKind>{options.align.objective}
+            : options.objectives;
+    const CostModel model(Arch::Fallthrough);
+
+    for (const AlignerKind kind : kinds) {
+        for (const ObjectiveKind objective : objectives) {
+            AlignOptions align = options.align;
+            align.objective = objective;
+            // Verification failures must become findings, not panics.
+            align.verify = false;
+
+            auto report = [&](const std::string &what,
+                              const std::string &detail) {
+                Divergence divergence;
+                divergence.kind = DivergenceKind::Realign;
+                divergence.aligner = kind;
+                divergence.objective = objective;
+                divergence.program = program.name();
+                divergence.detail = "  " + what + ": " + detail + "\n";
+                return divergence;
+            };
+
+            const ProgramLayout old_layout =
+                alignProgram(program, kind, &model, align);
+            const ProgramLayout full =
+                alignProgram(degraded, kind, &model, align);
+
+            const ProgramLayout incremental = realignProgram(
+                program, old_layout, degraded, kind, &model, align, 0.0);
+            std::string mismatch =
+                describeLayoutDifference(full, incremental);
+            if (!mismatch.empty())
+                return report("threshold 0 differs from full alignProgram",
+                              mismatch);
+
+            const ProgramLayout kept =
+                realignProgram(program, old_layout, degraded, kind, &model,
+                               align, kNeverRealign);
+            mismatch = describeLayoutDifference(old_layout, kept);
+            if (!mismatch.empty())
+                return report(
+                    "threshold infinity differs from the old layout",
+                    mismatch);
+
+            RealignStats stats;
+            const ProgramLayout spliced =
+                realignProgram(program, old_layout, degraded, kind, &model,
+                               align, 0.25, &stats);
+            const VerifyResult proof = verifyLayout(degraded, spliced);
+            if (!proof.verified()) {
+                std::ostringstream detail;
+                detail << "spliced " << stats.procsRealigned << "/"
+                       << stats.procsTotal << " procedures; "
+                       << formatVerifyFailure(proof.failures.front());
+                return report("mid-threshold splice failed verification",
+                              detail.str());
+            }
+        }
+    }
+    return std::nullopt;
+}
+
 FuzzReport
 runFuzz(const FuzzOptions &options)
 {
@@ -731,6 +816,12 @@ runFuzz(const FuzzOptions &options)
         if (options.verifyGate) {
             std::optional<Divergence> hit = verifyGateCheck(
                 prepared.program, first_only, options.layoutMutator);
+            if (hit.has_value())
+                return hit;
+        }
+        if (options.realignGate) {
+            std::optional<Divergence> hit = realignGateCheck(
+                prepared.program, prepared.walk, first_only);
             if (hit.has_value())
                 return hit;
         }
@@ -785,6 +876,8 @@ runFuzz(const FuzzOptions &options)
             ++report.verifyHits;
         if (report.divergences.back().kind == DivergenceKind::Batch)
             ++report.batchHits;
+        if (report.divergences.back().kind == DivergenceKind::Realign)
+            ++report.realignHits;
 
         std::string path;
         if (!options.corpusDir.empty()) {

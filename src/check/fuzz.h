@@ -91,6 +91,13 @@ struct FuzzOptions
     /// verification (see verify/driver.h), proving the gate catches
     /// injected bugs end to end.
     LayoutMutator layoutMutator;
+    /// Perturb the profile and run incremental realignment
+    /// (core/realign.h) against a full realignment: threshold 0 must be
+    /// byte-identical to the full layout, threshold infinity to the old
+    /// one, and a mid-threshold splice must verify. A violation is a
+    /// finding of its own (DivergenceKind::Realign) and shrinks exactly
+    /// like a divergence.
+    bool realignGate = true;
 };
 
 /// Campaign outcome.
@@ -105,6 +112,9 @@ struct FuzzReport
     /// Findings of kind DivergenceKind::Batch among `divergences`
     /// (batched replay engine vs per-cell evaluator).
     std::uint64_t batchHits = 0;
+    /// Findings of kind DivergenceKind::Realign among `divergences`
+    /// (incremental vs full realignment).
+    std::uint64_t realignHits = 0;
     /// First divergence per diverging seed, AFTER shrinking.
     std::vector<Divergence> divergences;
     /// Repro files written (parallel to divergences; empty string when
@@ -132,6 +142,20 @@ std::optional<Divergence> lintGateCheck(const Program &program,
 std::optional<Divergence> verifyGateCheck(const Program &program,
                                           const DiffOptions &options = {},
                                           const LayoutMutator &mutate = {});
+
+/**
+ * The fuzzer's incremental-realignment gate: perturbs @p program's
+ * profile deterministically, then for every configured (aligner,
+ * objective) pair checks realignProgram's differential contract — the
+ * threshold-0 incremental layout is byte-identical to a full
+ * alignProgram of the perturbed profile, the threshold-infinity layout
+ * byte-identical to the old one, and a mid-threshold splice passes the
+ * translation validator. Returns a DivergenceKind::Realign finding, or
+ * nullopt when the contract holds. @p walk feeds walk-based degradations.
+ */
+std::optional<Divergence> realignGateCheck(const Program &program,
+                                           const WalkOptions &walk,
+                                           const DiffOptions &options = {});
 
 /// Runs the campaign: seeds -> programs -> differ -> shrink -> corpus.
 FuzzReport runFuzz(const FuzzOptions &options);

@@ -11,27 +11,6 @@ namespace balign {
 
 namespace {
 
-/// Shifts every program-global address in @p proc by placing it at
-/// @p base (addresses are contiguous, so a single delta applies).
-void
-rebaseProc(ProcLayout &proc, Addr base)
-{
-    if (proc.base == base)
-        return;
-    const std::int64_t delta = static_cast<std::int64_t>(base) -
-                               static_cast<std::int64_t>(proc.base);
-    auto shift = [delta](Addr &addr) {
-        if (addr != kNoAddr)
-            addr = static_cast<Addr>(static_cast<std::int64_t>(addr) + delta);
-    };
-    for (BlockLayout &block : proc.blocks) {
-        shift(block.addr);
-        shift(block.branchAddr);
-        shift(block.jumpAddr);
-    }
-    proc.base = base;
-}
-
 /**
  * Per-procedure monotone fallback: keeps whichever of the candidate and
  * baseline procedure layouts has the lower objective price, then re-bases
@@ -56,7 +35,7 @@ cheaperPerProc(const Program &program, ProgramLayout candidate,
             objective.layoutCost(proc, baseline.procs[id]);
         if (baseline_cost < candidate_cost)
             candidate.procs[id] = std::move(baseline.procs[id]);
-        rebaseProc(candidate.procs[id], base);
+        rebaseProcLayout(candidate.procs[id], base);
         base += candidate.procs[id].totalInstrs;
     }
     candidate.totalInstrs = base;

@@ -1,0 +1,179 @@
+#include "core/realign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "layout/materialize.h"
+#include "support/log.h"
+#include "verify/verify.h"
+
+namespace balign {
+
+double
+profileDivergence(const Procedure &old_proc, const Procedure &new_proc)
+{
+    if (old_proc.numEdges() != new_proc.numEdges())
+        panic("profileDivergence(%s): edge count mismatch (%zu vs %zu)",
+              new_proc.name().c_str(), old_proc.numEdges(),
+              new_proc.numEdges());
+    const auto old_total =
+        static_cast<double>(old_proc.totalEdgeWeight());
+    const auto new_total =
+        static_cast<double>(new_proc.totalEdgeWeight());
+    if (old_total == 0.0 && new_total == 0.0)
+        return 0.0;
+    if (old_total == 0.0 || new_total == 0.0)
+        return 2.0;
+    double l1 = 0.0;
+    for (std::uint32_t i = 0; i < old_proc.numEdges(); ++i) {
+        const double a =
+            static_cast<double>(old_proc.edge(i).weight) / old_total;
+        const double b =
+            static_cast<double>(new_proc.edge(i).weight) / new_total;
+        l1 += std::abs(a - b);
+    }
+    return l1;
+}
+
+namespace {
+
+/**
+ * Runs the alignProgram pipeline for a subset of procedures, each
+ * materialized at base 0 (the caller re-bases). This mirrors
+ * align_program.cc stage for stage — direction-refinement iterations,
+ * chain ordering, cost-model materialization, and the per-procedure
+ * greedy fallback under the active objective — because every one of
+ * those stages is per-procedure and base-invariant, which is what makes
+ * the incremental result byte-identical to the full one.
+ */
+std::vector<ProcLayout>
+alignSelectedProcs(const Program &program, const std::vector<ProcId> &ids,
+                   AlignerKind kind, const CostModel *model,
+                   const AlignOptions &options)
+{
+    std::vector<ProcLayout> result(ids.size());
+    if (ids.empty())
+        return result;
+
+    if (kind == AlignerKind::Original) {
+        ProgramLayout original = originalLayout(program);
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            result[i] = std::move(original.procs[ids[i]]);
+        return result;
+    }
+
+    const auto aligner = makeAligner(kind, model, options);
+    MaterializeOptions mat;
+    if (aligner->wantsCostModelMaterialization()) {
+        if (model == nullptr)
+            panic("realignProgram: aligner %s needs a cost model",
+                  aligner->name().c_str());
+        mat.costModel = model;
+    }
+    const unsigned iterations = aligner->wantsCostModelMaterialization()
+                                    ? std::max(1u, options.directionIterations)
+                                    : 1;
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            const Procedure &proc = program.proc(ids[i]);
+            std::vector<std::uint32_t> positions;
+            DirOracle oracle;
+            if (iter > 0) {
+                const ProcLayout &prev = result[i];
+                positions.resize(proc.numBlocks());
+                for (BlockId b = 0; b < proc.numBlocks(); ++b)
+                    positions[b] = prev.blocks[b].orderIndex;
+                oracle = DirOracle(&positions);
+            }
+            const ChainSet chains = aligner->alignProc(proc, oracle);
+            result[i] = materializeProc(
+                proc, orderChains(proc, chains, options.chainOrder), 0, mat);
+        }
+    }
+
+    // Per-procedure monotone fallback (align_program.cc): never worse
+    // than Greedy under the active objective. Objective prices are
+    // base-invariant, so comparing both candidates at base 0 decides
+    // exactly as cheaperPerProc does on the contiguous layouts.
+    const bool can_price = options.objective != ObjectiveKind::TableCost ||
+                           model != nullptr;
+    if (kind != AlignerKind::Greedy && aligner->objectiveGuided() &&
+        can_price) {
+        const auto objective = makeObjective(options.objective, model);
+        std::vector<ProcLayout> greedy = alignSelectedProcs(
+            program, ids, AlignerKind::Greedy, model, options);
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            const Procedure &proc = program.proc(ids[i]);
+            const double candidate_cost =
+                objective->layoutCost(proc, result[i]);
+            const double baseline_cost =
+                objective->layoutCost(proc, greedy[i]);
+            if (baseline_cost < candidate_cost)
+                result[i] = std::move(greedy[i]);
+        }
+    }
+    return result;
+}
+
+}  // namespace
+
+ProgramLayout
+realignProgram(const Program &old_program, const ProgramLayout &old_layout,
+               const Program &new_program, AlignerKind kind,
+               const CostModel *model, const AlignOptions &options,
+               double threshold, RealignStats *stats)
+{
+    if (old_program.numProcs() != new_program.numProcs())
+        panic("realignProgram: procedure count mismatch (%zu vs %zu)",
+              old_program.numProcs(), new_program.numProcs());
+    if (old_layout.procs.size() != old_program.numProcs())
+        panic("realignProgram: old layout covers %zu of %zu procedures",
+              old_layout.procs.size(), old_program.numProcs());
+
+    RealignStats local;
+    local.procsTotal = new_program.numProcs();
+    std::vector<ProcId> moved;
+    for (ProcId id = 0; id < new_program.numProcs(); ++id) {
+        const double divergence =
+            profileDivergence(old_program.proc(id), new_program.proc(id));
+        local.maxDivergence = std::max(local.maxDivergence, divergence);
+        if (divergence >= threshold)
+            moved.push_back(id);
+    }
+    local.procsRealigned = moved.size();
+
+    std::vector<ProcLayout> fresh =
+        alignSelectedProcs(new_program, moved, kind, model, options);
+
+    ProgramLayout layout;
+    layout.procs.resize(new_program.numProcs());
+    std::size_t next_moved = 0;
+    Addr base = 0;
+    for (ProcId id = 0; id < new_program.numProcs(); ++id) {
+        if (next_moved < moved.size() && moved[next_moved] == id)
+            layout.procs[id] = std::move(fresh[next_moved++]);
+        else
+            layout.procs[id] = old_layout.procs[id];  // verbatim splice
+        rebaseProcLayout(layout.procs[id], base);
+        base += layout.procs[id].totalInstrs;
+    }
+    layout.totalInstrs = base;
+
+    // Every splice is discharged through the translation validator, same
+    // as a full alignProgram: an incremental layout is never less proven
+    // than a full one.
+    if (options.verify) {
+        const VerifyResult proof = verifyLayout(new_program, layout);
+        if (!proof.verified())
+            panic("realignProgram: %s spliced layout failed verification: %s",
+                  alignerKindName(kind),
+                  formatVerifyFailure(proof.failures.front()).c_str());
+    }
+    if (stats != nullptr)
+        *stats = local;
+    return layout;
+}
+
+}  // namespace balign

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Field-by-field comparison of two program layouts. "Byte-identical" in
+ * the incremental-realignment contract means exactly this: every order
+ * entry, every BlockLayout field (addresses included), every per-procedure
+ * accounting counter, and the program totals all agree.
+ */
+
+#ifndef BALIGN_LAYOUT_LAYOUT_DIFF_H
+#define BALIGN_LAYOUT_LAYOUT_DIFF_H
+
+#include <string>
+
+#include "layout/layout_result.h"
+
+namespace balign {
+
+/**
+ * Describes the first difference between two program layouts, or returns
+ * the empty string when they are identical in every field.
+ */
+std::string describeLayoutDifference(const ProgramLayout &a,
+                                     const ProgramLayout &b);
+
+/// True when describeLayoutDifference would return "".
+bool layoutsIdentical(const ProgramLayout &a, const ProgramLayout &b);
+
+}  // namespace balign
+
+#endif  // BALIGN_LAYOUT_LAYOUT_DIFF_H

@@ -77,6 +77,14 @@ struct ProcLayout
     std::uint32_t sensesInverted = 0;
 };
 
+/**
+ * Re-bases @p proc at @p base: every program-global address shifts by the
+ * same delta (addresses within a procedure are contiguous, so a layout is
+ * position-independent modulo this shift). Used by the per-procedure
+ * fallback splice in align_program.cc and by incremental realignment.
+ */
+void rebaseProcLayout(ProcLayout &proc, Addr base);
+
 /// Layout of a whole program (procedures in id order, placed contiguously).
 struct ProgramLayout
 {

@@ -206,6 +206,25 @@ materializeProc(const Procedure &proc, std::vector<BlockId> order, Addr base,
     return layout;
 }
 
+void
+rebaseProcLayout(ProcLayout &proc, Addr base)
+{
+    if (proc.base == base)
+        return;
+    const std::int64_t delta = static_cast<std::int64_t>(base) -
+                               static_cast<std::int64_t>(proc.base);
+    auto shift = [delta](Addr &addr) {
+        if (addr != kNoAddr)
+            addr = static_cast<Addr>(static_cast<std::int64_t>(addr) + delta);
+    };
+    for (BlockLayout &block : proc.blocks) {
+        shift(block.addr);
+        shift(block.branchAddr);
+        shift(block.jumpAddr);
+    }
+    proc.base = base;
+}
+
 ProgramLayout
 materializeProgram(const Program &program,
                    const std::vector<std::vector<BlockId>> &orders,

@@ -236,6 +236,30 @@ lintUncalledProcWeight(const Program &program, std::vector<Diagnostic> &sink)
     }
 }
 
+/**
+ * prof.degenerate: a program with edges but no profile weight at all.
+ * Every aligner tolerates this (all chains tie at weight zero and the
+ * structural order wins), but the resulting layout optimizes nothing, so
+ * surface it as a Note instead of accepting it silently — aggressive
+ * sampling (profile/degrade.h) is the realistic way to end up here.
+ */
+void
+lintDegenerateProfile(const Program &program, std::vector<Diagnostic> &sink)
+{
+    std::size_t num_edges = 0;
+    Weight total = 0;
+    for (const Procedure &proc : program.procs()) {
+        num_edges += proc.numEdges();
+        total += proc.totalEdgeWeight();
+    }
+    if (num_edges > 0 && total == 0) {
+        emit(sink, "prof.degenerate", {kNoProc, kNoBlock, kNoEdge},
+             "profile is completely empty (every edge weight is zero)",
+             "alignment degenerates to the structural block order; "
+             "re-profile or sample less aggressively");
+    }
+}
+
 void
 lintBiasRange(const Program &program, std::vector<Diagnostic> &sink)
 {
@@ -263,6 +287,7 @@ lintProfile(const Program &program, const LintOptions &options,
 {
     lintFlowConservation(program, options, sink);
     lintLoopFlow(program, options, sink);
+    lintDegenerateProfile(program, sink);
     lintUnreachableWeight(program, sink);
     lintUncalledProcWeight(program, sink);
     lintBiasRange(program, sink);

@@ -41,6 +41,10 @@ allLintRules()
          "natural-loop boundary flow conservation: exit weight never "
          "exceeds entry weight and strands at most the truncated-walk "
          "slack"},
+        {"prof.degenerate", Severity::Note,
+         "program carries edges but a completely empty profile; aligners "
+         "fall back to structural order (heavy sampling or thinning can "
+         "produce this)"},
 
         // Layout legality.
         {"layout.entry-first", Severity::Error,

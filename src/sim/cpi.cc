@@ -110,6 +110,7 @@ runConfigs(const PreparedProgram &prepared,
         AlignerKind kind;
         ObjectiveKind objective;
         Arch arch;  ///< only meaningful for arch-dependent layouts
+        DegradeSpec degrade;
 
         bool
         operator<(const LayoutKey &other) const
@@ -118,7 +119,9 @@ runConfigs(const PreparedProgram &prepared,
                 return kind < other.kind;
             if (objective != other.objective)
                 return objective < other.objective;
-            return arch < other.arch;
+            if (arch != other.arch)
+                return arch < other.arch;
+            return degrade < other.degrade;
         }
     };
     auto layout_key = [](const ExperimentConfig &config) {
@@ -134,8 +137,14 @@ runConfigs(const PreparedProgram &prepared,
         const bool arch_dependent =
             (guided && objectiveArchDependent(config.objective)) ||
             config.arch == Arch::BtFnt;
+        // The identity layout never reads the profile, so degradation
+        // cannot change it; collapsing its key avoids duplicate layouts.
+        const DegradeSpec degrade = config.kind == AlignerKind::Original
+                                        ? DegradeSpec::none()
+                                        : config.degrade;
         return LayoutKey{config.kind, config.objective,
-                         arch_dependent ? config.arch : Arch::Fallthrough};
+                         arch_dependent ? config.arch : Arch::Fallthrough,
+                         degrade};
     };
 
     // Deduplicate the layout keys first so each distinct layout is aligned
@@ -161,8 +170,18 @@ runConfigs(const PreparedProgram &prepared,
         arch_options.objective = config.objective;
         if (config.arch == Arch::BtFnt)
             arch_options.chainOrder = ChainOrderPolicy::BtFntPrecedence;
-        layouts[i] = std::make_unique<ProgramLayout>(alignProgram(
-            program, config.kind, model.get(), arch_options));
+        if (config.kind != AlignerKind::Original && !config.degrade.isNone()) {
+            // Align on the degraded profile; evaluation below still
+            // replays the true recorded trace (degradations only touch
+            // edge weights, so the layout maps onto the same CFG).
+            Program degraded = program;
+            degradeProfile(degraded, prepared.walk, config.degrade);
+            layouts[i] = std::make_unique<ProgramLayout>(alignProgram(
+                degraded, config.kind, model.get(), arch_options));
+        } else {
+            layouts[i] = std::make_unique<ProgramLayout>(alignProgram(
+                program, config.kind, model.get(), arch_options));
+        }
         models[i] = std::move(model);
     };
     {

@@ -35,6 +35,7 @@
 #include "cfg/cfg_stats.h"
 #include "cfg/program.h"
 #include "core/align_program.h"
+#include "profile/degrade.h"
 #include "support/stats.h"
 #include "support/thread_pool.h"
 #include "trace/recorder.h"
@@ -46,13 +47,20 @@ namespace balign {
 struct BatchTrace;
 
 /// A (prediction architecture, alignment algorithm, alignment objective)
-/// triple to evaluate. The objective defaults to the paper's Table-1
-/// cost, so two-field aggregate initialization keeps its old meaning.
+/// triple to evaluate, plus an optional profile-degradation axis. The
+/// objective defaults to the paper's Table-1 cost and the degradation to
+/// None, so two-field aggregate initialization keeps its old meaning.
 struct ExperimentConfig
 {
     Arch arch;
     AlignerKind kind;
     ObjectiveKind objective = ObjectiveKind::TableCost;
+
+    /// When not None, the layout for this cell is computed from a
+    /// degraded copy of the profile (profile/degrade.h) while evaluation
+    /// still replays the true recorded trace — the align-on-degraded /
+    /// measure-on-true scenario (ROADMAP item 3).
+    DegradeSpec degrade = DegradeSpec::none();
 };
 
 /// One evaluated configuration.

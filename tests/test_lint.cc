@@ -327,6 +327,23 @@ TEST(Lint, BiasRangeFiresOnNonProbability)
                         program.proc(0).edge(0).src));
 }
 
+TEST(Lint, DegenerateProfileFiresOnAllZeroWeights)
+{
+    // Edges exist but carry no recorded weight at all (e.g. after heavy
+    // sampling): a program-wide Note, located nowhere in particular.
+    Program program = profiledBase();
+    program.clearWeights();
+    const std::vector<Diagnostic> diags = profDiags(program);
+    EXPECT_TRUE(hasRule(diags, "prof.degenerate"));
+    for (const Diagnostic &diagnostic : diags) {
+        if (diagnostic.rule == "prof.degenerate")
+            EXPECT_EQ(diagnostic.severity, Severity::Note);
+    }
+    // A single surviving activation is enough information to clear it.
+    program.proc(0).edge(0).weight = 1;
+    EXPECT_FALSE(hasRule(profDiags(program), "prof.degenerate"));
+}
+
 TEST(Lint, LoopFlowFiresWhenLoopEmitsMoreThanEntered)
 {
     // A loop whose recorded exit weight exceeds its entry weight: every

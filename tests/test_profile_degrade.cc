@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Part of the `ctest -L robust` group: property tests for the profile
+ * degradation library (profile/degrade.h).
+ *
+ *  - Seeded determinism: every transform is a pure function of
+ *    (program, spec) — same seed, byte-identical weights; a different
+ *    seed moves them.
+ *  - Flow conservation: sample keeps a lint-clean profile lint-clean
+ *    (prof.* rules) across the whole 24-program suite; merge stays clean
+ *    under the slack scaled by the number of constituent walks; drift
+ *    conserves every block's outflow and the program total, exactly as
+ *    documented in degrade.h.
+ *  - Severity monotonicity: the suite-mean CPI degradation curve is
+ *    monotone along the drift ladder (align-on-degraded /
+ *    measure-on-true via the ExperimentConfig degrade axis).
+ *  - Degeneracy: an all-zero profile trips the prof.degenerate note, and
+ *    every aligner x objective tolerates it — layouts still verify.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/differ.h"
+#include "core/align_program.h"
+#include "lint/lint.h"
+#include "profile/degrade.h"
+#include "sim/cpi.h"
+#include "trace/profiler.h"
+#include "trace/walker.h"
+#include "workload/generator.h"
+#include "workload/suite.h"
+
+using namespace balign;
+
+namespace {
+
+constexpr std::uint64_t kBudget = 50'000;
+
+WalkOptions
+testWalk()
+{
+    WalkOptions walk;
+    walk.seed = 1;
+    walk.instrBudget = kBudget;
+    return walk;
+}
+
+Program
+profiledProgram(const std::string &name)
+{
+    ProgramSpec spec = suiteSpec(name);
+    spec.traceInstrs = kBudget;
+    Program program = generateProgram(spec);
+    program.clearWeights();
+    Profiler profiler(program);
+    walk(program, testWalk(), profiler);
+    return program;
+}
+
+std::vector<Weight>
+allWeights(const Program &program)
+{
+    std::vector<Weight> weights;
+    for (ProcId id = 0; id < program.numProcs(); ++id) {
+        for (const Edge &edge : program.proc(id).edges())
+            weights.push_back(edge.weight);
+    }
+    return weights;
+}
+
+Weight
+totalWeight(const Program &program)
+{
+    Weight total = 0;
+    for (ProcId id = 0; id < program.numProcs(); ++id)
+        total += program.proc(id).totalEdgeWeight();
+    return total;
+}
+
+/// Profile-rules-only lint run (layout/cost rules are covered by their
+/// own labelled groups; here only the prof.* flow invariants matter).
+LintReport
+lintProfileOnly(const Program &program, Weight slack = 65)
+{
+    LintRunOptions run;
+    run.layoutRules = false;
+    run.costRules = false;
+    run.lint.flowSlack = slack;
+    return lintProgram(program, run);
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const ProgramSpec &spec : benchmarkSuite())
+        names.push_back(spec.name);
+    return names;
+}
+
+DegradeSpec
+spec(DegradeKind kind, std::uint32_t n, double param, std::uint64_t seed)
+{
+    DegradeSpec s;
+    s.kind = kind;
+    s.n = n;
+    s.param = param;
+    s.seed = seed;
+    return s;
+}
+
+}  // namespace
+
+TEST(DegradeDeterminism, SameSeedSameWeightsDifferentSeedMoves)
+{
+    const Program base = profiledProgram("compress");
+    const std::vector<DegradeSpec> specs = {
+        spec(DegradeKind::Sample, 8, 0.0, 42),
+        spec(DegradeKind::Stale, 0, 0.0, 42),
+        spec(DegradeKind::Perturb, 0, 0.5, 42),
+        spec(DegradeKind::Merge, 3, 0.0, 42),
+        spec(DegradeKind::Drift, 0, 0.5, 42),
+    };
+    for (const DegradeSpec &s : specs) {
+        Program first = base;
+        Program second = base;
+        degradeProfile(first, testWalk(), s);
+        degradeProfile(second, testWalk(), s);
+        EXPECT_EQ(allWeights(first), allWeights(second))
+            << degradeSpecLabel(s);
+
+        // A different seed must actually change the outcome (drift is
+        // seedless by design — the ladder is its param).
+        if (s.kind == DegradeKind::Drift)
+            continue;
+        Program other = base;
+        DegradeSpec reseeded = s;
+        reseeded.seed = 43;
+        degradeProfile(other, testWalk(), reseeded);
+        EXPECT_NE(allWeights(first), allWeights(other))
+            << degradeSpecLabel(s);
+    }
+}
+
+TEST(DegradeDeterminism, NoneAndUnitSampleAreIdentity)
+{
+    const Program base = profiledProgram("eqntott");
+    Program none = base;
+    degradeProfile(none, testWalk(), DegradeSpec::none());
+    EXPECT_EQ(allWeights(none), allWeights(base));
+
+    Program unit = base;
+    sampleProfile(unit, 1, 7);
+    EXPECT_EQ(allWeights(unit), allWeights(base));
+}
+
+TEST(DegradeFlow, SampleKeepsSuiteLintClean)
+{
+    for (const std::string &name : suiteNames()) {
+        Program program = profiledProgram(name);
+        sampleProfile(program, 8, 1);
+        const LintReport report = lintProfileOnly(program);
+        EXPECT_EQ(report.errors(), 0u) << name;
+        EXPECT_EQ(report.warnings(), 0u) << name;
+    }
+}
+
+TEST(DegradeFlow, HeavySampleKeepsSuiteLintClean)
+{
+    // 1/1024 thins most programs to near-zero weight; flow conservation
+    // must survive even when whole procedures go dark.
+    for (const std::string &name : suiteNames()) {
+        Program program = profiledProgram(name);
+        sampleProfile(program, 1024, 1);
+        const LintReport report = lintProfileOnly(program);
+        EXPECT_EQ(report.errors(), 0u) << name;
+    }
+}
+
+TEST(DegradeFlow, MergeKeepsSuiteLintCleanUnderScaledSlack)
+{
+    constexpr std::uint32_t kExtraInputs = 3;
+    for (const std::string &name : suiteNames()) {
+        Program program = profiledProgram(name);
+        mergeProfiles(program, testWalk(), kExtraInputs, 1);
+        // Each constituent walk strands up to flowSlack activations.
+        const LintReport report =
+            lintProfileOnly(program, 65 * (kExtraInputs + 1));
+        EXPECT_EQ(report.errors(), 0u) << name;
+        EXPECT_EQ(report.warnings(), 0u) << name;
+    }
+}
+
+TEST(DegradeFlow, DriftPreservesEveryBlockOutflow)
+{
+    // Drift only trades weight between out-edges of the same block, so
+    // per-block outflow (and the program total) is invariant at every t.
+    // Successor inflows move — the anti-profile is deliberately an
+    // impossible execution — so no lint-clean claim is made here.
+    auto outflows = [](const Program &program) {
+        std::vector<Weight> flows;
+        for (ProcId id = 0; id < program.numProcs(); ++id) {
+            const Procedure &proc = program.proc(id);
+            std::vector<Weight> per_block(proc.numBlocks(), 0);
+            for (const Edge &edge : proc.edges())
+                per_block[edge.src] += edge.weight;
+            flows.insert(flows.end(), per_block.begin(), per_block.end());
+        }
+        return flows;
+    };
+    for (const std::string &name : suiteNames()) {
+        Program program = profiledProgram(name);
+        const std::vector<Weight> before = outflows(program);
+        const Weight total = totalWeight(program);
+        driftProfile(program, 1.0);
+        EXPECT_EQ(outflows(program), before) << name;
+        EXPECT_EQ(totalWeight(program), total) << name;
+    }
+}
+
+TEST(DegradeDegenerate, ZeroProfileTripsNoteAndAlignersTolerateIt)
+{
+    Program program = profiledProgram("li");
+    program.clearWeights();
+
+    LintRunOptions run;
+    run.layoutRules = false;
+    run.costRules = false;
+    const LintReport report = lintProgram(program, run);
+    bool found = false;
+    for (const Diagnostic &diag : report.diagnostics) {
+        if (diag.rule == "prof.degenerate") {
+            EXPECT_EQ(diag.severity, Severity::Note);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found) << "prof.degenerate did not fire on a zero profile";
+    EXPECT_EQ(report.errors(), 0u);
+
+    // Every aligner must fall back to a structural order rather than
+    // crash, and the result must still pass the translation validator
+    // (AlignOptions.verify defaults to on).
+    const CostModel model(Arch::BtFnt);
+    for (const AlignerKind kind : allAlignerKindsExtended()) {
+        for (const ObjectiveKind objective : allObjectiveKinds()) {
+            AlignOptions options;
+            options.objective = objective;
+            const ProgramLayout layout =
+                alignProgram(program, kind, &model, options);
+            EXPECT_EQ(layout.procs.size(), program.numProcs())
+                << alignerKindName(kind) << "/"
+                << objectiveKindName(objective);
+        }
+    }
+}
+
+TEST(DegradeCurves, DriftLadderDegradesCpiMonotonically)
+{
+    // Align-on-degraded / measure-on-true: the further the alignment
+    // profile drifts toward the anti-profile, the worse (or at best
+    // equal) the measured suite-mean relative CPI must get. Drift is the
+    // adversarial direction, so this curve is the one with a guaranteed
+    // slope; the tolerance absorbs per-program ties.
+    constexpr double kTolerance = 1e-6;
+    const std::vector<double> ladder = {0.0, 0.5, 1.0};
+
+    std::vector<double> mean(ladder.size(), 0.0);
+    std::size_t programs = 0;
+    for (const std::string &name : suiteNames()) {
+        ProgramSpec program_spec = suiteSpec(name);
+        program_spec.traceInstrs = kBudget;
+        const PreparedProgram prepared = prepareProgram(program_spec);
+
+        std::vector<ExperimentConfig> configs;
+        configs.push_back({Arch::BtFnt, AlignerKind::Original});
+        for (const double t : ladder) {
+            ExperimentConfig config{Arch::BtFnt, AlignerKind::Try15};
+            config.degrade = spec(DegradeKind::Drift, 0, t, 1);
+            configs.push_back(config);
+        }
+        const ExperimentRun run = runConfigs(prepared, configs);
+        ASSERT_EQ(run.cells.size(), configs.size()) << name;
+        for (std::size_t i = 0; i < ladder.size(); ++i)
+            mean[i] += run.cells[i + 1].relCpi;
+        ++programs;
+    }
+    ASSERT_EQ(programs, 24u);
+    for (double &value : mean)
+        value /= static_cast<double>(programs);
+    for (std::size_t i = 1; i < mean.size(); ++i) {
+        EXPECT_GE(mean[i] + kTolerance, mean[i - 1])
+            << "suite-mean rel CPI not monotone at drift t="
+            << ladder[i];
+    }
+    // The full adversary must measurably hurt: strictly worse than the
+    // true-profile alignment, not merely tied.
+    EXPECT_GT(mean.back(), mean.front() + 1e-4);
+}

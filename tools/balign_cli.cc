@@ -26,6 +26,14 @@
  *   balign unroll <FILE> [-o FILE] [--factor K] [--min-weight W]
  *       Unroll hot single-block loops by duplication.
  *
+ *   balign degrade <FILE> --kind K [-n N] [--param X] [--degrade-seed S]
+ *                  [-o FILE] [--instrs N]
+ *       Apply one deterministic profile degradation (sample, stale,
+ *       perturb, merge, drift) to the program's recorded edge weights and
+ *       emit the degraded program. Unprofiled inputs are profiled first;
+ *       repro files reuse their embedded walk parameters. The CFG
+ *       structure is never modified.
+ *
  *   balign dot <FILE> [--proc N]
  *       Emit a Graphviz rendering of one procedure.
  *
@@ -86,6 +94,7 @@
 #include "core/unroll.h"
 #include "layout/materialize.h"
 #include "lint/lint.h"
+#include "profile/degrade.h"
 #include "sim/runner.h"
 #include "verify/driver.h"
 #include "support/log.h"
@@ -118,6 +127,10 @@ struct Args
     ProcId procId = 0;
     bool suite = false;
     bool json = false;
+    std::string degradeKind;
+    std::uint32_t degradeN = 8;
+    double degradeParam = 0.25;
+    std::uint64_t degradeSeed = 1;
 };
 
 Args
@@ -158,6 +171,16 @@ parseArgs(int argc, char **argv)
         else if (arg == "--proc")
             args.procId =
                 static_cast<ProcId>(std::strtoul(next().c_str(), nullptr, 10));
+        else if (arg == "--kind")
+            args.degradeKind = next();
+        else if (arg == "-n")
+            args.degradeN =
+                static_cast<std::uint32_t>(std::strtoul(next().c_str(),
+                                                        nullptr, 10));
+        else if (arg == "--param")
+            args.degradeParam = std::strtod(next().c_str(), nullptr);
+        else if (arg == "--degrade-seed")
+            args.degradeSeed = std::strtoull(next().c_str(), nullptr, 10);
         else if (arg == "--suite")
             args.suite = true;
         else if (arg == "--json")
@@ -384,6 +407,57 @@ cmdUnroll(const Args &args)
     options.minWeight = args.minWeight;
     const unsigned loops = unrollSelfLoops(program, options);
     inform("unrolled %u loops (factor %u)", loops, args.factor);
+    emit(program, args.output);
+    return 0;
+}
+
+int
+cmdDegrade(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("degrade: need an input file");
+    if (args.degradeKind.empty())
+        fatal("degrade: need --kind "
+              "(none|sample|stale|perturb|merge|drift)");
+    const std::optional<DegradeKind> kind =
+        parseDegradeKind(args.degradeKind);
+    if (!kind.has_value())
+        fatal("degrade: unknown kind '%s'", args.degradeKind.c_str());
+
+    std::optional<Repro> repro = loadRepro(args.positional[0]);
+    if (!repro.has_value())
+        fatal("degrade: cannot load %s", args.positional[0].c_str());
+    Program program = std::move(repro->program);
+    WalkOptions walk_options = repro->walk;
+    if (args.instrsSet)
+        walk_options.instrBudget = args.instrs;
+
+    auto total_weight = [](const Program &p) {
+        Weight total = 0;
+        for (ProcId id = 0; id < p.numProcs(); ++id)
+            total += p.proc(id).totalEdgeWeight();
+        return total;
+    };
+
+    // The transforms degrade a recorded profile; bare CFGs (e.g. straight
+    // from `balign generate`) are profiled first with the walk parameters
+    // above so the subcommand composes without a separate `profile` step.
+    if (total_weight(program) == 0) {
+        Profiler profiler(program);
+        walk(program, walk_options, profiler);
+    }
+
+    DegradeSpec spec;
+    spec.kind = *kind;
+    spec.n = args.degradeN;
+    spec.param = args.degradeParam;
+    spec.seed = args.degradeSeed;
+
+    const Weight before = total_weight(program);
+    degradeProfile(program, walk_options, spec);
+    inform("degrade %s: total edge weight %s -> %s",
+           degradeSpecLabel(spec).c_str(), withCommas(before).c_str(),
+           withCommas(total_weight(program)).c_str());
     emit(program, args.output);
     return 0;
 }
@@ -636,6 +710,7 @@ usage()
         "  align <FILE> --arch A --algo G             show the layout\n"
         "  evaluate <FILE> --arch A                   compare aligners\n"
         "  unroll <FILE> [--factor K] [-o FILE]       duplicate hot loops\n"
+        "  degrade <FILE> --kind K [-o FILE]          degrade the profile\n"
         "  dot <FILE> [--proc N]                      Graphviz output\n"
         "  fuzz [--seeds N] [--instrs N] [-o DIR]     differential fuzzing\n"
         "  repro <FILE> [--instrs N]                  replay one repro\n"
@@ -646,7 +721,11 @@ usage()
         "  --algo greedy|cost|try15|exttsp|original   alignment algorithm\n"
         "  --objective table-cost|exttsp              alignment objective\n"
         "    (align/evaluate/lint price under it; fuzz/repro sweep both\n"
-        "    objectives unless one is forced)\n");
+        "    objectives unless one is forced)\n"
+        "  --kind none|sample|stale|perturb|merge|drift\n"
+        "    profile degradation; severity: -n N (sample keeps 1/N, merge\n"
+        "    adds N walks), --param X (perturb eps / drift t),\n"
+        "    --degrade-seed S (transform RNG / alternate input)\n");
 }
 
 }  // namespace
@@ -672,6 +751,8 @@ main(int argc, char **argv)
         return cmdEvaluate(args);
     if (command == "unroll")
         return cmdUnroll(args);
+    if (command == "degrade")
+        return cmdDegrade(args);
     if (command == "dot")
         return cmdDot(args);
     if (command == "fuzz")

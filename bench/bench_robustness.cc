@@ -8,9 +8,17 @@
  * Try15 under the Table-1 and ExtTSP objectives) crossed with every
  * degradation family (profile/degrade.h) along a severity ladder:
  * sampling 1/N, stale inputs, multiplicative noise eps, cross-input
- * merges, and adversarial drift t. The curve value is the suite-mean
- * relative CPI (vs. the original layout, BT/FNT); the true-profile
- * alignment is the zero point every curve is read against.
+ * merges, and adversarial drift t — plus the profile-free endpoint (the
+ * static estimate, ProfileSource::Estimated), which is just the far end
+ * of the same ladder. The curve value is the suite-mean relative CPI
+ * (vs. the original layout, BT/FNT); the true-profile alignment is the
+ * zero point every curve is read against.
+ *
+ * The ExtTSP-vs-Table-1 robustness question is answered per degradation
+ * point, not just on suite means: for each ladder point the per-program
+ * CPI delta vs. the true-profile alignment is paired across objectives
+ * and a two-sided sign test reports whether one objective degrades
+ * significantly less than the other under that specific degradation.
  *
  * Part 2 — incremental realignment. For each program and contender the
  * profile is moved (perturb eps=0.5) and realignProgram sweeps a
@@ -27,6 +35,8 @@
  *             of the tables
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <iostream>
 #include <vector>
@@ -96,6 +106,43 @@ severityLadder()
     return ladder;
 }
 
+/**
+ * Two-sided sign test on @p wins successes out of @p wins + @p losses
+ * paired comparisons (ties dropped): the probability under H0 (p = 1/2)
+ * of a split at least this lopsided. Exact binomial, small n.
+ */
+double
+signTestPValue(std::size_t wins, std::size_t losses)
+{
+    const std::size_t n = wins + losses;
+    if (n == 0)
+        return 1.0;
+    const std::size_t extreme = std::max(wins, losses);
+    // P(X >= extreme) for X ~ Binomial(n, 1/2), doubled and capped.
+    double coeff = 1.0;  // C(n, k) rolling
+    double tail = 0.0;
+    for (std::size_t k = 0; k <= n; ++k) {
+        if (k >= extreme)
+            tail += coeff;
+        coeff = coeff * static_cast<double>(n - k) /
+                static_cast<double>(k + 1);
+    }
+    const double p = 2.0 * tail * std::pow(0.5, static_cast<double>(n));
+    return std::min(p, 1.0);
+}
+
+/// Paired per-degradation comparison of the two objectives under one
+/// aligner: mean deltas vs. the true-profile zero point and the sign
+/// test over the per-program delta pairs.
+struct DeltaCompare
+{
+    double meanDeltaTc = 0.0;  ///< table-cost mean CPI delta vs true
+    double meanDeltaXt = 0.0;  ///< exttsp mean CPI delta vs true
+    std::size_t winsXt = 0;    ///< programs where exttsp degraded less
+    std::size_t winsTc = 0;    ///< programs where table-cost degraded less
+    double pValue = 1.0;       ///< two-sided sign test (ties dropped)
+};
+
 /// The realignment threshold ladder (labels double as JSON keys).
 struct ThresholdStep
 {
@@ -152,6 +199,9 @@ main(int argc, char **argv)
     }
 
     const std::vector<DegradeSpec> ladder = severityLadder();
+    // Points per contender: the degradation ladder plus the profile-free
+    // endpoint (the static estimate) as its final rung.
+    const std::size_t num_points = ladder.size() + 1;
     std::vector<ExperimentConfig> configs;
     configs.push_back({kArch, AlignerKind::Original});
     for (const Contender &contender : kContenders) {
@@ -161,6 +211,10 @@ main(int argc, char **argv)
             config.degrade = spec;
             configs.push_back(config);
         }
+        ExperimentConfig estimated{kArch, contender.kind,
+                                   contender.objective};
+        estimated.source = ProfileSource::Estimated;
+        configs.push_back(estimated);
     }
 
     const bench::WallClock wall;
@@ -169,20 +223,55 @@ main(int argc, char **argv)
     runner.times = &times;
     const std::vector<ExperimentRun> runs = runSuite(suite, configs, runner);
 
-    // Part 1: suite-mean relative CPI per (contender, ladder point).
+    // Part 1: per-program relative CPI per (contender, ladder point).
     // Cell order inside each run mirrors `configs`.
-    std::vector<std::vector<double>> curves(
-        kNumContenders, std::vector<double>(ladder.size(), 0.0));
+    std::vector<std::vector<std::vector<double>>> values(
+        kNumContenders,
+        std::vector<std::vector<double>>(num_points));
     for (const ExperimentRun &run : runs) {
         std::size_t cell = 1;  // skip the Original cell
         for (std::size_t c = 0; c < kNumContenders; ++c) {
-            for (std::size_t p = 0; p < ladder.size(); ++p)
-                curves[c][p] += run.cells[cell++].relCpi;
+            for (std::size_t p = 0; p < num_points; ++p)
+                values[c][p].push_back(run.cells[cell++].relCpi);
         }
     }
-    for (auto &curve : curves) {
-        for (double &value : curve)
-            value /= static_cast<double>(runs.size());
+    std::vector<std::vector<double>> curves(
+        kNumContenders, std::vector<double>(num_points, 0.0));
+    for (std::size_t c = 0; c < kNumContenders; ++c) {
+        for (std::size_t p = 0; p < num_points; ++p) {
+            for (const double value : values[c][p])
+                curves[c][p] += value;
+            curves[c][p] /= static_cast<double>(runs.size());
+        }
+    }
+
+    // Per-degradation objective comparison: pair the per-program deltas
+    // (vs. the true-profile zero point) of table-cost and exttsp under
+    // the same aligner and sign-test them. Contender layout: pairs are
+    // (0, 1) = cost and (2, 3) = try15.
+    const std::size_t kPairs[][2] = {{0, 1}, {2, 3}};
+    const char *kPairNames[] = {"cost", "try15"};
+    std::vector<std::vector<DeltaCompare>> compares(
+        2, std::vector<DeltaCompare>(num_points));
+    for (std::size_t pair = 0; pair < 2; ++pair) {
+        const std::size_t tc = kPairs[pair][0];
+        const std::size_t xt = kPairs[pair][1];
+        for (std::size_t p = 0; p < num_points; ++p) {
+            DeltaCompare &cmp = compares[pair][p];
+            for (std::size_t i = 0; i < runs.size(); ++i) {
+                const double delta_tc = values[tc][p][i] - values[tc][0][i];
+                const double delta_xt = values[xt][p][i] - values[xt][0][i];
+                cmp.meanDeltaTc += delta_tc;
+                cmp.meanDeltaXt += delta_xt;
+                if (delta_xt < delta_tc)
+                    ++cmp.winsXt;
+                else if (delta_tc < delta_xt)
+                    ++cmp.winsTc;
+            }
+            cmp.meanDeltaTc /= static_cast<double>(runs.size());
+            cmp.meanDeltaXt /= static_cast<double>(runs.size());
+            cmp.pValue = signTestPValue(cmp.winsXt, cmp.winsTc);
+        }
     }
 
     // Part 2: the realignment threshold sweep against a moved profile.
@@ -256,13 +345,34 @@ main(int argc, char **argv)
                << alignerKindName(contender.kind) << "\",\"objective\":\""
                << objectiveKindName(contender.objective)
                << "\",\"points\":[";
-            for (std::size_t p = 0; p < ladder.size(); ++p) {
+            for (std::size_t p = 0; p < num_points; ++p) {
+                const bool est = p >= ladder.size();
                 os << (p ? "," : "") << "{\"degrade\":\""
-                   << degradeKindName(ladder[p].kind)
-                   << "\",\"severity\":\"" << ladder[p].severityLabel()
+                   << (est ? "estimate" : degradeKindName(ladder[p].kind))
+                   << "\",\"severity\":\""
+                   << (est ? "static" : ladder[p].severityLabel())
                    << "\",\"rel_cpi\":" << curves[c][p]
                    << ",\"delta_vs_true\":" << curves[c][p] - curves[c][0]
                    << "}";
+            }
+            os << "]}";
+        }
+        os << "],\"sign_tests\":[";
+        for (std::size_t pair = 0; pair < 2; ++pair) {
+            os << (pair ? "," : "") << "{\"aligner\":\""
+               << kPairNames[pair] << "\",\"points\":[";
+            for (std::size_t p = 0; p < num_points; ++p) {
+                const bool est = p >= ladder.size();
+                const DeltaCompare &cmp = compares[pair][p];
+                os << (p ? "," : "") << "{\"degrade\":\""
+                   << (est ? "estimate" : degradeKindName(ladder[p].kind))
+                   << "\",\"severity\":\""
+                   << (est ? "static" : ladder[p].severityLabel())
+                   << "\",\"mean_delta_table_cost\":" << cmp.meanDeltaTc
+                   << ",\"mean_delta_exttsp\":" << cmp.meanDeltaXt
+                   << ",\"wins_exttsp\":" << cmp.winsXt
+                   << ",\"wins_table_cost\":" << cmp.winsTc
+                   << ",\"p_value\":" << cmp.pValue << "}";
             }
             os << "]}";
         }
@@ -295,16 +405,38 @@ main(int argc, char **argv)
     } else {
         Table table({"Degradation", "Severity", "cost/tc", "cost/xt",
                      "try15/tc", "try15/xt"});
-        for (std::size_t p = 0; p < ladder.size(); ++p) {
-            Table &row = table.row()
-                             .cell(degradeKindName(ladder[p].kind))
-                             .cell(ladder[p].severityLabel());
+        for (std::size_t p = 0; p < num_points; ++p) {
+            const bool est = p >= ladder.size();
+            Table &row =
+                table.row()
+                    .cell(est ? "estimate" : degradeKindName(ladder[p].kind))
+                    .cell(est ? "static" : ladder[p].severityLabel());
             for (std::size_t c = 0; c < kNumContenders; ++c)
                 row.cell(curves[c][p], 3);
         }
         std::cout << "Robustness: suite-mean rel CPI, align-on-degraded / "
                      "measure-on-true (BTFNT)\n\n";
         table.print(std::cout);
+
+        Table dtable({"Degradation", "Severity", "cost Dtc", "cost Dxt",
+                      "cost p", "try15 Dtc", "try15 Dxt", "try15 p"});
+        for (std::size_t p = 1; p < num_points; ++p) {
+            const bool est = p >= ladder.size();
+            Table &row =
+                dtable.row()
+                    .cell(est ? "estimate" : degradeKindName(ladder[p].kind))
+                    .cell(est ? "static" : ladder[p].severityLabel());
+            for (std::size_t pair = 0; pair < 2; ++pair) {
+                const DeltaCompare &cmp = compares[pair][p];
+                row.cell(cmp.meanDeltaTc, 4)
+                    .cell(cmp.meanDeltaXt, 4)
+                    .cell(cmp.pValue, 3);
+            }
+        }
+        std::cout << "\nPer-degradation CPI deltas vs the true-profile "
+                     "alignment (D = mean delta; p = two-sided sign test, "
+                     "exttsp vs table-cost)\n\n";
+        dtable.print(std::cout);
 
         Table rtable({"Threshold", "cost/tc frac", "cost/tc CPI",
                       "try15/tc frac", "try15/tc CPI"});

@@ -2,6 +2,32 @@
 
 namespace balign {
 
+const char *
+profileProvenanceName(ProfileProvenance provenance)
+{
+    switch (provenance) {
+      case ProfileProvenance::Measured: return "measured";
+      case ProfileProvenance::Degraded: return "degraded";
+      case ProfileProvenance::Estimated: return "estimated";
+    }
+    return "?";
+}
+
+bool
+profileProvenanceFromName(const std::string &name,
+                          ProfileProvenance &provenance)
+{
+    if (name == "measured")
+        provenance = ProfileProvenance::Measured;
+    else if (name == "degraded")
+        provenance = ProfileProvenance::Degraded;
+    else if (name == "estimated")
+        provenance = ProfileProvenance::Estimated;
+    else
+        return false;
+    return true;
+}
+
 ProcId
 Program::addProc(std::string name)
 {

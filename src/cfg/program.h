@@ -15,6 +15,27 @@
 namespace balign {
 
 /**
+ * Where a Program's edge weights came from. Measured profiles are
+ * recorded by the trace walker (trace/profiler.h), degraded ones passed
+ * through profile/degrade.h afterwards, estimated ones synthesized from
+ * the CFG alone by estimate/estimate.h. Serialized alongside the profile
+ * and surfaced in `balign lint` so goldens and certificates record which
+ * profile kind produced a layout.
+ */
+enum class ProfileProvenance : std::uint8_t {
+    Measured,
+    Degraded,
+    Estimated,
+};
+
+/// Stable lowercase tag ("measured" / "degraded" / "estimated").
+const char *profileProvenanceName(ProfileProvenance provenance);
+
+/// Inverse of profileProvenanceName; false on unknown tags.
+bool profileProvenanceFromName(const std::string &name,
+                               ProfileProvenance &provenance);
+
+/**
  * A whole program. Procedure 0 is "main" (the walk root) unless overridden.
  * Procedures are laid out in id order; the layout engine assigns each
  * procedure a contiguous address range in that order (the paper reorders
@@ -49,9 +70,18 @@ class Program
     /// Resets all edge weights across all procedures.
     void clearWeights();
 
+    /// Provenance of the current edge weights (Measured by default; the
+    /// profiler, degrader and estimator re-tag as they run).
+    ProfileProvenance profileProvenance() const { return provenance_; }
+    void setProfileProvenance(ProfileProvenance provenance)
+    {
+        provenance_ = provenance;
+    }
+
   private:
     std::string name_;
     ProcId main_ = 0;
+    ProfileProvenance provenance_ = ProfileProvenance::Measured;
     std::vector<Procedure> procs_;
 };
 

@@ -78,6 +78,12 @@ writeProgram(const Program &program, std::ostream &os)
     os << "balign-program v1\n";
     os << "program " << program.name() << "\n";
     os << "main " << program.mainProc() << "\n";
+    // Provenance line only when it deviates from the Measured default,
+    // so pre-existing serialized programs stay byte-identical.
+    if (program.profileProvenance() != ProfileProvenance::Measured) {
+        os << "profile " << profileProvenanceName(program.profileProvenance())
+           << "\n";
+    }
     for (const auto &proc : program.procs()) {
         os << "proc " << proc.id() << " " << proc.name() << " entry "
            << proc.entry() << "\n";
@@ -163,6 +169,12 @@ readProgram(std::istream &is)
             if (!(ss >> main))
                 return fail("bad main line");
             program.setMainProc(main);
+        } else if (keyword == "profile") {
+            std::string tag;
+            ProfileProvenance provenance;
+            if (!(ss >> tag) || !profileProvenanceFromName(tag, provenance))
+                return fail("unknown profile provenance '" + tag + "'");
+            program.setProfileProvenance(provenance);
         } else if (keyword == "proc") {
             ProcId id;
             std::string name, entry_kw;

@@ -20,6 +20,7 @@ divergenceKindName(DivergenceKind kind)
       case DivergenceKind::Verify: return "verify";
       case DivergenceKind::Batch: return "batch";
       case DivergenceKind::Realign: return "realign";
+      case DivergenceKind::Estimate: return "estimate";
     }
     return "?";
 }

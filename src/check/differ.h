@@ -54,6 +54,10 @@ enum class DivergenceKind : std::uint8_t {
                  ///< contract: threshold-0 differs from a full
                  ///< alignProgram, threshold-infinity differs from the old
                  ///< layout, or a spliced layout failed verification
+    Estimate,    ///< the static profile estimator (estimate/estimate.h)
+                 ///< synthesized a profile that breaks the prof.*/est.*
+                 ///< invariants, or a layout aligned on it failed the
+                 ///< translation validator
 };
 
 /// Printable kind name.

@@ -7,6 +7,7 @@
 #include "cfg/serialize.h"
 #include "cfg/validate.h"
 #include "core/realign.h"
+#include "estimate/estimate.h"
 #include "layout/layout_diff.h"
 #include "lint/lint.h"
 #include "profile/degrade.h"
@@ -780,6 +781,69 @@ realignGateCheck(const Program &program, const WalkOptions &walk,
     return std::nullopt;
 }
 
+std::optional<Divergence>
+estimateGateCheck(const Program &program, const DiffOptions &options)
+{
+    // Estimate once; every check below runs against this copy.
+    Program estimated = program;
+    const EstimateReport estimate = estimateProfile(estimated);
+    (void)estimate;
+
+    auto report = [&](const std::string &what, const std::string &detail) {
+        Divergence divergence;
+        divergence.kind = DivergenceKind::Estimate;
+        divergence.program = program.name();
+        divergence.detail = "  " + what + ": " + detail + "\n";
+        return divergence;
+    };
+
+    // The synthesized profile must satisfy the same static invariants a
+    // measured profile does (prof.*), plus the estimator's own (est.*).
+    {
+        LintRunOptions lint_run;
+        lint_run.layoutRules = false;
+        const LintReport lint = lintProgram(estimated, lint_run);
+        if (!lint.clean()) {
+            std::ostringstream detail;
+            for (const Diagnostic &diagnostic : lint.diagnostics) {
+                if (diagnostic.severity == Severity::Error)
+                    detail << formatDiagnostic(diagnostic) << "; ";
+            }
+            return report("estimated profile fails static lint",
+                          detail.str());
+        }
+    }
+
+    // Every aligner must produce a verifiable layout from the estimate.
+    const std::vector<AlignerKind> kinds =
+        options.kinds.empty() ? allAlignerKindsExtended() : options.kinds;
+    const std::vector<ObjectiveKind> objectives =
+        options.objectives.empty()
+            ? std::vector<ObjectiveKind>{options.align.objective}
+            : options.objectives;
+    const CostModel model(Arch::Fallthrough);
+    for (const AlignerKind kind : kinds) {
+        for (const ObjectiveKind objective : objectives) {
+            AlignOptions align = options.align;
+            align.objective = objective;
+            align.verify = false;  // failures become findings, not panics
+            const ProgramLayout layout =
+                alignProgram(estimated, kind, &model, align);
+            const VerifyResult proof = verifyLayout(estimated, layout);
+            if (!proof.verified()) {
+                Divergence divergence = report(
+                    "layout aligned on the estimated profile failed "
+                    "verification",
+                    formatVerifyFailure(proof.failures.front()));
+                divergence.aligner = kind;
+                divergence.objective = objective;
+                return divergence;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
 FuzzReport
 runFuzz(const FuzzOptions &options)
 {
@@ -822,6 +886,12 @@ runFuzz(const FuzzOptions &options)
         if (options.realignGate) {
             std::optional<Divergence> hit = realignGateCheck(
                 prepared.program, prepared.walk, first_only);
+            if (hit.has_value())
+                return hit;
+        }
+        if (options.estimateGate) {
+            std::optional<Divergence> hit =
+                estimateGateCheck(prepared.program, first_only);
             if (hit.has_value())
                 return hit;
         }
@@ -878,6 +948,8 @@ runFuzz(const FuzzOptions &options)
             ++report.batchHits;
         if (report.divergences.back().kind == DivergenceKind::Realign)
             ++report.realignHits;
+        if (report.divergences.back().kind == DivergenceKind::Estimate)
+            ++report.estimateHits;
 
         std::string path;
         if (!options.corpusDir.empty()) {

@@ -98,6 +98,12 @@ struct FuzzOptions
     /// finding of its own (DivergenceKind::Realign) and shrinks exactly
     /// like a divergence.
     bool realignGate = true;
+    /// Estimate a static profile for the program (estimate/estimate.h)
+    /// and check it passes the prof.*/est.* invariants and that every
+    /// aligner x objective pair produces a verifiable layout from it. A
+    /// violation is a finding of its own (DivergenceKind::Estimate) and
+    /// shrinks exactly like a divergence.
+    bool estimateGate = true;
 };
 
 /// Campaign outcome.
@@ -115,6 +121,10 @@ struct FuzzReport
     /// Findings of kind DivergenceKind::Realign among `divergences`
     /// (incremental vs full realignment).
     std::uint64_t realignHits = 0;
+    /// Findings of kind DivergenceKind::Estimate among `divergences`
+    /// (static estimator broke an invariant or produced an unalignable
+    /// profile).
+    std::uint64_t estimateHits = 0;
     /// First divergence per diverging seed, AFTER shrinking.
     std::vector<Divergence> divergences;
     /// Repro files written (parallel to divergences; empty string when
@@ -156,6 +166,17 @@ std::optional<Divergence> verifyGateCheck(const Program &program,
 std::optional<Divergence> realignGateCheck(const Program &program,
                                            const WalkOptions &walk,
                                            const DiffOptions &options = {});
+
+/**
+ * The fuzzer's static-estimator gate: estimates a profile for a copy of
+ * @p program, checks the synthesized weights against the prof.* and
+ * est.* invariants, then aligns the estimated copy under every
+ * configured (aligner, objective) pair and proves each layout with the
+ * translation validator. Returns a DivergenceKind::Estimate finding, or
+ * nullopt when the estimator holds up.
+ */
+std::optional<Divergence> estimateGateCheck(const Program &program,
+                                            const DiffOptions &options = {});
 
 /// Runs the campaign: seeds -> programs -> differ -> shrink -> corpus.
 FuzzReport runFuzz(const FuzzOptions &options);

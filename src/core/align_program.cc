@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "estimate/estimate.h"
 #include "layout/materialize.h"
 #include "support/log.h"
 #include "verify/verify.h"
@@ -93,6 +94,16 @@ alignProgram(const Program &program, AlignerKind kind, const CostModel *model,
 {
     if (kind == AlignerKind::Original)
         return originalLayout(program);
+    if (options.profileSource == ProfileSource::Estimated) {
+        // Profile-free alignment: discard the carried weights and align
+        // against the static estimate. The copy's CFG is identical, so
+        // the layout (and its verification) transfers to the original.
+        Program estimated = program;
+        estimateProfile(estimated);
+        AlignOptions inner = options;
+        inner.profileSource = ProfileSource::Measured;
+        return alignProgram(estimated, kind, model, inner);
+    }
     const auto aligner = makeAligner(kind, model, options);
     ProgramLayout layout = alignProgram(program, *aligner, model, options);
     // Objective-guided aligners place chains from incomplete information

@@ -22,6 +22,16 @@ alignerKindName(AlignerKind kind)
     return "?";
 }
 
+const char *
+profileSourceName(ProfileSource source)
+{
+    switch (source) {
+      case ProfileSource::Measured: return "measured";
+      case ProfileSource::Estimated: return "estimated";
+    }
+    return "?";
+}
+
 double
 blockAlignCost(const Procedure &proc, const CostModel &model, BlockId id,
                BlockId next, const DirOracle &oracle, BlockId prev)

@@ -38,6 +38,22 @@ enum class AlignerKind : std::uint8_t {
 /// Printable kind name.
 const char *alignerKindName(AlignerKind kind);
 
+/**
+ * Which profile the aligners consume. Measured uses whatever edge
+ * weights the program carries (the walker's true profile, or a degraded
+ * one the driver prepared — degradation is a program transform, not an
+ * alignment-time choice). Estimated discards the carried weights and
+ * aligns against the static profile synthesized by estimate/estimate.h:
+ * profile-free alignment, the `none` endpoint of the robustness axis.
+ */
+enum class ProfileSource : std::uint8_t {
+    Measured,
+    Estimated,
+};
+
+/// Printable source name ("measured" / "estimated").
+const char *profileSourceName(ProfileSource source);
+
 /// Options shared by the aligners and the program driver.
 struct AlignOptions
 {
@@ -75,6 +91,13 @@ struct AlignOptions
      * id-based hints undervalue.
      */
     unsigned directionIterations = 1;
+
+    /**
+     * Profile the alignment consumes. Under Estimated the program driver
+     * re-profiles a copy of the program with the static estimator before
+     * aligning, so the caller's measured weights are never consulted.
+     */
+    ProfileSource profileSource = ProfileSource::Measured;
 
     /**
      * Prove every produced layout semantically equivalent to the source

@@ -120,9 +120,13 @@ class GroupSearch
 }  // namespace
 
 ChainSet
-Try15Aligner::alignProc(const Procedure &proc, const DirOracle &oracle) const
+Try15Aligner::alignProc(const Procedure &proc,
+                        const DirOracle &base_oracle) const
 {
     ChainSet chains(proc.numBlocks(), proc.entry());
+    // Same-chain placements are definitive direction evidence (they
+    // survive any chain concatenation); the caller's hints cover the rest.
+    const DirOracle oracle = base_oracle.withChains(&chains);
 
     // Candidate edges: alignable, hot enough, within the coverage cut.
     std::vector<std::uint32_t> ordered = alignableEdgesByWeight(proc);

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * The program-level estimation driver and report rendering.
+ *
+ * Per procedure: heuristics -> transition probabilities -> Wu-Larus
+ * frequencies. Across procedures: expected call frequencies give each
+ * procedure an invocation count relative to one run of main, and a
+ * strand probability (the chance one invocation feeds an inescapable
+ * cycle, transitively through calls) pre-scales main's entry count so
+ * the integer flow stranded program-wide stays within the budget the
+ * prof.* lint slack tolerates. The integer profile itself is pushed
+ * (propagate.cc), so per-block conservation is exact; a retry loop
+ * rescales if the measured stranding still exceeds the budget, with an
+ * empty (trivially conserving) profile as the final fallback.
+ */
+
+#include "estimate/estimate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/analysis.h"
+#include "estimate/internal.h"
+
+namespace balign {
+
+double
+combineEvidence(double a, double b)
+{
+    const double joint = a * b;
+    const double denom = joint + (1.0 - a) * (1.0 - b);
+    if (denom <= 0.0)
+        return 0.5;  // contradictory certainties; stay neutral
+    return joint / denom;
+}
+
+namespace {
+
+/// Passes for the call-graph fixpoints (invocation counts and strand
+/// probabilities); matches the walker's call-depth cap.
+constexpr unsigned kCallGraphPasses = 64;
+
+/// Invocation counts above this are runaway recursion; clamp.
+constexpr double kInvocationCeiling = 1e12;
+
+std::string
+prob4(double p)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.4f", p);
+    return buffer;
+}
+
+std::string
+prob6(double p)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.6f", p);
+    return buffer;
+}
+
+void
+jsonString(std::ostream &os, const std::string &text)
+{
+    os << '"';
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+}  // namespace
+
+EstimateReport
+estimateProfile(Program &program, const EstimateOptions &options)
+{
+    using namespace estimate_detail;
+
+    EstimateReport report;
+    report.heuristicHits.assign(allEstimateHeuristics().size(), 0);
+    const std::size_t np = program.numProcs();
+    report.edgeProbs.resize(np);
+    report.procs.resize(np);
+
+    std::vector<ProcAnalysis> analyses;
+    analyses.reserve(np);
+    std::vector<ProcFreqs> freqs(np);
+    // callFreq[p][c]: expected calls from one invocation of p to c.
+    std::vector<std::vector<double>> callFreq(np);
+
+    for (ProcId p = 0; p < np; ++p) {
+        const Procedure &proc = program.proc(p);
+        analyses.push_back(ProcAnalysis::of(proc));
+        report.edgeProbs[p] = branchProbabilities(
+            proc, analyses[p], options, report.branches,
+            report.heuristicHits);
+        freqs[p] = propagateFrequencies(proc, analyses[p],
+                                        report.edgeProbs[p], options);
+        report.procs[p].proc = p;
+        report.procs[p].irreducibleFallback = freqs[p].irreducibleFallback;
+        report.procs[p].tripCappedLoops = freqs[p].tripCappedLoops;
+
+        callFreq[p].assign(np, 0.0);
+        for (const BasicBlock &block : proc.blocks()) {
+            if (block.id >= freqs[p].block.size())
+                continue;
+            const double bfreq = freqs[p].block[block.id];
+            for (const CallSite &site : block.calls) {
+                if (site.callee < np)
+                    callFreq[p][site.callee] += bfreq;
+            }
+        }
+        for (const BasicBlock &block : proc.blocks()) {
+            if (block.term == Terminator::CondBranch)
+                ++report.conditionals;
+        }
+    }
+
+    // Strand probability: chance that one invocation's flow reaches an
+    // inescapable cycle, here or in a transitive callee.
+    std::vector<double> strand(np, 0.0);
+    for (unsigned pass = 0; pass < kCallGraphPasses; ++pass) {
+        for (std::size_t p = np; p-- > 0;) {
+            double s = freqs[p].trapMass;
+            for (ProcId c = 0; c < np; ++c) {
+                if (callFreq[p][c] > 0.0)
+                    s += callFreq[p][c] * strand[c];
+            }
+            strand[p] = std::min(s, 1.0);
+        }
+    }
+    for (ProcId p = 0; p < np; ++p)
+        report.procs[p].strandProb = strand[p];
+
+    // Invocation counts relative to one run of main (Jacobi fixpoint —
+    // recursion converges against the ceiling instead of diverging).
+    const ProcId main = program.mainProc();
+    std::vector<double> invocations(np, 0.0);
+    if (main < np) {
+        invocations[main] = 1.0;
+        std::vector<double> next(np, 0.0);
+        for (unsigned pass = 0; pass < kCallGraphPasses; ++pass) {
+            std::fill(next.begin(), next.end(), 0.0);
+            next[main] = 1.0;
+            for (ProcId p = 0; p < np; ++p) {
+                if (invocations[p] <= 0.0)
+                    continue;
+                for (ProcId c = 0; c < np; ++c) {
+                    if (callFreq[p][c] > 0.0) {
+                        next[c] = std::min(
+                            next[c] + invocations[p] * callFreq[p][c],
+                            kInvocationCeiling);
+                    }
+                }
+            }
+            invocations.swap(next);
+        }
+    }
+
+    // Scale main's entry count so expected stranding fits half the
+    // budget, then push and re-check the actual integer stranding.
+    Weight entry_scale = options.entryCount;
+    const double s_main = main < np ? strand[main] : 0.0;
+    if (s_main > 0.0) {
+        entry_scale = static_cast<Weight>(std::clamp(
+            static_cast<double>(options.strandBudget) / (2.0 * s_main),
+            1.0, static_cast<double>(options.entryCount)));
+    }
+
+    for (;;) {
+        program.clearWeights();
+        Weight total_stranded = 0;
+        for (ProcId p = 0; p < np; ++p) {
+            double scaled =
+                invocations[p] * static_cast<double>(entry_scale);
+            scaled = std::min(scaled, 1e15);
+            Weight entries =
+                p == main ? entry_scale
+                          : static_cast<Weight>(std::llround(scaled));
+            report.procs[p].entryCount = entries;
+            report.procs[p].stranded =
+                pushFlow(program.proc(p), analyses[p],
+                         report.edgeProbs[p], freqs[p], entries, options);
+            total_stranded += report.procs[p].stranded;
+        }
+        if (total_stranded <= options.strandBudget) {
+            report.totalStranded = total_stranded;
+            break;
+        }
+        if (entry_scale <= 1) {
+            // Even one activation strands too much (pathological trap
+            // nests): fall back to the empty profile, which conserves
+            // trivially (prof.degenerate notes it, nothing errors).
+            program.clearWeights();
+            for (ProcId p = 0; p < np; ++p) {
+                report.procs[p].entryCount = 0;
+                report.procs[p].stranded = 0;
+            }
+            report.totalStranded = 0;
+            break;
+        }
+        entry_scale = std::max<Weight>(entry_scale / 4, 1);
+    }
+
+    program.setProfileProvenance(ProfileProvenance::Estimated);
+    return report;
+}
+
+std::string
+formatEstimateReport(const EstimateReport &report, const Program &program)
+{
+    std::ostringstream out;
+    out << "estimate: " << program.name() << ": " << report.conditionals
+        << " conditional branch(es) across " << program.numProcs()
+        << " proc(s), stranded " << report.totalStranded << "\n";
+    out << "heuristic hits:\n";
+    const auto &heuristics = allEstimateHeuristics();
+    for (std::size_t i = 0; i < heuristics.size(); ++i) {
+        out << "  " << heuristics[i].name
+            << " (p=" << prob4(heuristics[i].takenProb)
+            << "): " << report.heuristicHits[i] << "\n";
+    }
+    for (const ProcEstimate &pe : report.procs) {
+        if (pe.proc >= program.numProcs())
+            continue;
+        out << "  proc " << pe.proc << " '"
+            << program.proc(pe.proc).name() << "': entries "
+            << pe.entryCount;
+        if (pe.irreducibleFallback)
+            out << ", irreducible fallback";
+        if (pe.tripCappedLoops > 0)
+            out << ", trip-capped loops " << pe.tripCappedLoops;
+        if (pe.strandProb > 0.0)
+            out << ", strand-prob " << prob4(pe.strandProb);
+        if (pe.stranded > 0)
+            out << ", stranded " << pe.stranded;
+        out << "\n";
+    }
+    for (const BranchEstimate &branch : report.branches) {
+        out << "  proc " << branch.proc << " block " << branch.block
+            << ": taken " << prob4(branch.takenProb);
+        if (branch.votes.empty()) {
+            out << " (no heuristic fired)";
+        } else {
+            out << " [";
+            for (std::size_t i = 0; i < branch.votes.size(); ++i) {
+                if (i > 0)
+                    out << ", ";
+                out << branch.votes[i].heuristic << "->"
+                    << (branch.votes[i].predictsTaken ? "taken"
+                                                      : "fall-through")
+                    << " " << prob4(branch.votes[i].takenProb);
+            }
+            out << "]";
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+void
+writeEstimateReportJson(const EstimateReport &report,
+                        const Program &program, std::ostream &os)
+{
+    os << "{\"schema_version\":" << kEstimateSchemaVersion
+       << ",\"program\":";
+    jsonString(os, program.name());
+    os << ",\"conditionals\":" << report.conditionals
+       << ",\"total_stranded\":" << report.totalStranded
+       << ",\"heuristics\":[";
+    const auto &heuristics = allEstimateHeuristics();
+    for (std::size_t i = 0; i < heuristics.size(); ++i) {
+        if (i > 0)
+            os << ',';
+        os << "{\"name\":\"" << heuristics[i].name
+           << "\",\"taken_prob\":" << prob6(heuristics[i].takenProb)
+           << ",\"hits\":" << report.heuristicHits[i] << "}";
+    }
+    os << "],\"procs\":[";
+    for (std::size_t i = 0; i < report.procs.size(); ++i) {
+        const ProcEstimate &pe = report.procs[i];
+        if (i > 0)
+            os << ',';
+        os << "{\"proc\":" << pe.proc << ",\"name\":";
+        jsonString(os, pe.proc < program.numProcs()
+                           ? program.proc(pe.proc).name()
+                           : std::string());
+        os << ",\"irreducible_fallback\":"
+           << (pe.irreducibleFallback ? "true" : "false")
+           << ",\"strand_prob\":" << prob6(pe.strandProb)
+           << ",\"entry_count\":" << pe.entryCount
+           << ",\"stranded\":" << pe.stranded
+           << ",\"trip_capped_loops\":" << pe.tripCappedLoops << "}";
+    }
+    os << "],\"branches\":[";
+    for (std::size_t i = 0; i < report.branches.size(); ++i) {
+        const BranchEstimate &branch = report.branches[i];
+        if (i > 0)
+            os << ',';
+        os << "{\"proc\":" << branch.proc << ",\"block\":" << branch.block
+           << ",\"taken_prob\":" << prob6(branch.takenProb)
+           << ",\"votes\":[";
+        for (std::size_t v = 0; v < branch.votes.size(); ++v) {
+            if (v > 0)
+                os << ',';
+            os << "{\"heuristic\":\"" << branch.votes[v].heuristic
+               << "\",\"predicts_taken\":"
+               << (branch.votes[v].predictsTaken ? "true" : "false")
+               << ",\"taken_prob\":" << prob6(branch.votes[v].takenProb)
+               << "}";
+        }
+        os << "]}";
+    }
+    os << "]}";
+}
+
+}  // namespace balign

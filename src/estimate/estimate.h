@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Static profile estimation: Ball-Larus-style branch heuristics combined
+ * with Dempster-Shafer evidence, then Wu-Larus frequency propagation —
+ * a flow-conserving edge profile synthesized from the CFG alone.
+ *
+ * Every other profile source in this repo (measured, degraded) starts
+ * from a trace. The estimator starts from nothing: a registry of named
+ * syntactic heuristics assigns each conditional branch a taken
+ * probability (loop-branch, loop-exit, loop-header, call, return,
+ * dead-end, pattern — whatever the CFG metadata supports), multiple
+ * firing heuristics are combined per branch with the Dempster-Shafer
+ * rule Wu & Larus use (MICRO'94), and the resulting per-edge transition
+ * probabilities are propagated into block/edge frequencies over the
+ * natural-loop forest: closed-form cyclic frequencies for reducible
+ * loops under a capped trip-count prior, an explicit bounded-iteration
+ * fallback for irreducible regions flagged by analysis/loops.
+ *
+ * The synthesized profile must drop into the existing profile slot,
+ * which means passing the prof.* lint rules (lint/profile_rules.cc):
+ * per-block inflow == outflow for interior blocks, loop-boundary
+ * conservation, zero weight on unreachable edges and in uncalled
+ * procedures. Real-valued frequencies cannot guarantee that after
+ * rounding, so the integer profile is materialized by a deterministic
+ * flow-push pass (propagate.cc): each block re-apportions exactly the
+ * integer flow it received across its out-edges (largest-remainder
+ * rounding with per-edge carry), so conservation holds by construction.
+ * Flow that enters an inescapable cycle (a trap SCC — the static image
+ * of an infinite loop) is deliberately stranded there, and procedure
+ * entry counts are pre-scaled so the program-wide stranded total stays
+ * within the truncated-walk slack the lint rules already allow.
+ *
+ * The estimator never reads Edge::bias — that is the walker's ground
+ * truth. Everything here is derived from structure (terminators, loop
+ * forest, call sites) plus the deterministic pattern metadata.
+ */
+
+#ifndef BALIGN_ESTIMATE_ESTIMATE_H
+#define BALIGN_ESTIMATE_ESTIMATE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cfg/program.h"
+
+namespace balign {
+
+/// Version of the `balign estimate` JSON schema (`schema_version`).
+inline constexpr int kEstimateSchemaVersion = 1;
+
+/// Tunables. The defaults are used everywhere (benches, lint, fuzzing);
+/// they are exposed mainly so tests can probe edge behaviour.
+struct EstimateOptions
+{
+    /// Invocation count assigned to main (the profile's global scale).
+    /// Procedures that can reach an inescapable cycle get a reduced
+    /// count so the stranded flow stays within the lint slack.
+    Weight entryCount = 1u << 16;
+
+    /// Trip-count prior: cyclic probability is capped at this value, so
+    /// a loop contributes at most 1 / (1 - cap) iterations per entry
+    /// (default cap 15/16 = 16 iterations, Wu-Larus use a similar
+    /// epsilon guard).
+    double maxCyclicProb = 1.0 - 1.0 / 16.0;
+
+    /// Tighter trip-count prior for nested loops (depth >= 2): inner
+    /// loops run fewer iterations per entry than their enclosing loop
+    /// runs in total (the classic profile observation), so their cyclic
+    /// probability is capped lower — about 2.5 iterations — to keep
+    /// deep nests from dwarfing every acyclic path in the estimate.
+    double nestedCyclicProb = 0.60;
+
+    /// Combined branch probabilities are clamped to
+    /// [probFloor, 1 - probFloor]: static evidence is never certainty.
+    double probFloor = 1.0 / 64.0;
+
+    /// Gauss-Seidel passes for the irreducible-region fallback.
+    unsigned irreduciblePasses = 16;
+
+    /// Program-wide budget for integer flow stranded in trap SCCs; kept
+    /// below LintOptions::flowSlack so estimated profiles always pass
+    /// prof.flow-conservation.
+    Weight strandBudget = 48;
+};
+
+/// Registry entry for one branch heuristic.
+struct HeuristicInfo
+{
+    const char *name;     ///< stable id ("loop-branch", "call", ...)
+    double takenProb;     ///< probability assigned to the predicted edge
+    const char *summary;  ///< one-line description
+};
+
+/// Every heuristic the estimator knows, in registry order.
+const std::vector<HeuristicInfo> &allEstimateHeuristics();
+
+/// One heuristic's vote on one conditional branch.
+struct HeuristicVote
+{
+    const char *heuristic;  ///< registry name
+    bool predictsTaken;     ///< direction of the vote
+    double takenProb;       ///< the vote as a taken-probability
+};
+
+/// Per-branch provenance: which heuristics fired and the combined result.
+struct BranchEstimate
+{
+    ProcId proc = kNoProc;
+    BlockId block = kNoBlock;
+    /// Dempster-Shafer combination of the votes, clamped; 0.5 when no
+    /// heuristic fired.
+    double takenProb = 0.5;
+    std::vector<HeuristicVote> votes;
+};
+
+/// Per-procedure estimation summary.
+struct ProcEstimate
+{
+    ProcId proc = kNoProc;
+    /// Closed-form propagation was impossible (analysis/loops flagged an
+    /// irreducible region); the bounded-iteration fallback ran instead.
+    bool irreducibleFallback = false;
+    /// Expected fraction of one invocation's flow that reaches a trap
+    /// SCC (an inescapable cycle), transitively through calls.
+    double strandProb = 0.0;
+    /// Integer invocation count the synthesizer injected at the entry.
+    Weight entryCount = 0;
+    /// Integer flow left stranded inside trap SCCs.
+    Weight stranded = 0;
+    /// Number of trip-capped loops (cyclic probability hit the prior).
+    std::size_t tripCappedLoops = 0;
+};
+
+/// What estimateProfile computed, for reports and the est.* lint rules.
+struct EstimateReport
+{
+    /// One entry per conditional branch, in (proc, block) order.
+    std::vector<BranchEstimate> branches;
+    /// One entry per procedure, in id order.
+    std::vector<ProcEstimate> procs;
+    /// Fire counts parallel to allEstimateHeuristics().
+    std::vector<std::size_t> heuristicHits;
+    /// Per-procedure, per-edge-index transition probabilities (the
+    /// distribution the est.prob rule validates and the push pass uses).
+    std::vector<std::vector<double>> edgeProbs;
+    /// Program-wide integer flow left in trap SCCs (<= strandBudget).
+    Weight totalStranded = 0;
+    /// Conditional branches seen.
+    std::size_t conditionals = 0;
+};
+
+/**
+ * Dempster-Shafer combination of two taken-probabilities (the Wu-Larus
+ * two-hypothesis special case): both pieces of evidence agree on the
+ * hypothesis space {taken, not-taken}, so the combined belief is
+ * a*b / (a*b + (1-a)*(1-b)). Symmetric, associative, 0.5 is neutral.
+ */
+double combineEvidence(double a, double b);
+
+/**
+ * Replaces @p program's edge weights with the synthesized static
+ * profile and tags its provenance as Estimated. The CFG structure and
+ * edge biases are untouched. Deterministic: same program, same options,
+ * byte-identical weights — no RNG, no threads, no iteration-order
+ * dependence on anything but the IR.
+ */
+EstimateReport estimateProfile(Program &program,
+                               const EstimateOptions &options = {});
+
+/**
+ * Renders the report as text: the per-heuristic hit table, per-procedure
+ * summaries (fallbacks, stranded flow) and per-branch provenance lines.
+ */
+std::string formatEstimateReport(const EstimateReport &report,
+                                 const Program &program);
+
+/// JSON rendering (schema_version = kEstimateSchemaVersion; see README).
+void writeEstimateReportJson(const EstimateReport &report,
+                             const Program &program, std::ostream &os);
+
+}  // namespace balign
+
+#endif  // BALIGN_ESTIMATE_ESTIMATE_H

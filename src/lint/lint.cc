@@ -24,8 +24,15 @@ LintReport
 lintProgram(const Program &program, const LintRunOptions &options)
 {
     LintReport report;
+    report.profileProvenance =
+        profileProvenanceName(program.profileProvenance());
     lintCfg(program, report.diagnostics);
+    const bool cfg_clean = report.clean();
     lintProfile(program, options.lint, report.diagnostics);
+    // The est.* self-checks estimate a copy of the program, which is
+    // only meaningful on a structurally sound CFG.
+    if (options.estimateRules && cfg_clean)
+        lintEstimate(program, options.lint, report.diagnostics);
 
     // A structurally broken CFG makes alignment meaningless (and the
     // aligners may panic on it); stop at the structural findings.
@@ -101,7 +108,8 @@ formatLintReport(const LintReport &report, const std::string &programName)
         << " error(s), " << report.warnings() << " warning(s), "
         << report.count(Severity::Note) << " note(s); "
         << report.layoutsChecked << " layout(s) and "
-        << report.costPairsChecked << " cost pair(s) checked\n";
+        << report.costPairsChecked << " cost pair(s) checked; profile "
+        << report.profileProvenance << "\n";
     return out.str();
 }
 
@@ -116,7 +124,8 @@ writeLintReportJson(const LintReport &report,
             os << '\\';
         os << c;
     }
-    os << "\",\"clean\":" << (report.clean() ? "true" : "false")
+    os << "\",\"profile\":\"" << report.profileProvenance
+       << "\",\"clean\":" << (report.clean() ? "true" : "false")
        << ",\"errors\":" << report.errors()
        << ",\"warnings\":" << report.warnings()
        << ",\"notes\":" << report.count(Severity::Note)

@@ -37,6 +37,10 @@ struct LintReport
     std::size_t layoutsChecked = 0;
     /// cost.monotone (baseline, candidate) pairs compared.
     std::size_t costPairsChecked = 0;
+    /// Provenance tag of the linted program's profile ("measured" /
+    /// "degraded" / "estimated"), so goldens and certificates record
+    /// which profile kind produced the checked layouts.
+    std::string profileProvenance = "measured";
 
     /// Diagnostics at exactly @p severity.
     std::size_t count(Severity severity) const;
@@ -63,6 +67,10 @@ struct LintRunOptions
     LintOptions lint;
     /// Build and check layouts (layout.* rules).
     bool layoutRules = true;
+    /// Run the static-estimator self-checks (est.* rules): estimate a
+    /// copy of the program and verify the synthesized probabilities and
+    /// integer flow. Skipped automatically when cfg.* found errors.
+    bool estimateRules = true;
     /// Compare Cost/Try15 against Greedy per architecture (cost.*
     /// rules; requires Greedy and at least one candidate in `kinds`).
     bool costRules = true;

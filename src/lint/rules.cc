@@ -46,6 +46,18 @@ allLintRules()
          "fall back to structural order (heavy sampling or thinning can "
          "produce this)"},
 
+        // Static-estimator self-checks (the estimator runs on a copy;
+        // the program's own profile is never touched).
+        {"est.prob", Severity::Error,
+         "estimated transition probabilities form a distribution over "
+         "every block's out-edges"},
+        {"est.flow", Severity::Error,
+         "estimated integer profile conserves per-block flow within the "
+         "stranding budget"},
+        {"est.fallback", Severity::Note,
+         "irreducible region made the estimator use the "
+         "bounded-iteration fallback instead of the closed form"},
+
         // Layout legality.
         {"layout.entry-first", Severity::Error,
          "layout order starts with the procedure entry block"},

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "cfg/program.h"
+#include "layout/chain.h"
 #include "layout/layout_result.h"
 #include "layout/realization.h"
 #include "support/types.h"
@@ -69,6 +70,14 @@ bool objectiveArchDependent(ObjectiveKind kind);
  * table it falls back to original block ids (approximate source order); a
  * position table from a previous layout iteration gives exact hints for
  * that layout.
+ *
+ * When a live ChainSet is attached (withChains), blocks already placed in
+ * the same chain are resolved from their relative chain order, which is
+ * definitive: links never reorder within a chain, so whatever the final
+ * chain concatenation does, a same-chain target before its branch stays
+ * backward. This is what lets the chain searches price a loop-rotation
+ * decision correctly — the id/position fallbacks predate the rotation and
+ * point the wrong way (paper §6: directions are circular until placed).
  */
 class DirOracle
 {
@@ -79,9 +88,37 @@ class DirOracle
     {
     }
 
+    /// A copy of this oracle that resolves same-chain queries from
+    /// @p chains first. The ChainSet must outlive the returned oracle and
+    /// may keep mutating (queries read its current state).
+    DirOracle
+    withChains(const ChainSet *chains) const
+    {
+        DirOracle oracle = *this;
+        oracle.chains_ = chains;
+        return oracle;
+    }
+
     DirHint
     dir(BlockId target, BlockId src) const
     {
+        if (chains_ != nullptr && target != src) {
+            // Bounded walks keep a blockCost query O(1): beyond the
+            // budget (long chains) this degrades to the fallback hint.
+            constexpr unsigned kChainWalkBudget = 64;
+            BlockId b = chains_->next(target);
+            for (unsigned i = 0; i < kChainWalkBudget && b != kNoBlock;
+                 ++i, b = chains_->next(b)) {
+                if (b == src)
+                    return DirHint::Backward;
+            }
+            b = chains_->next(src);
+            for (unsigned i = 0; i < kChainWalkBudget && b != kNoBlock;
+                 ++i, b = chains_->next(b)) {
+                if (b == target)
+                    return DirHint::Forward;
+            }
+        }
         if (positions_ == nullptr)
             return target <= src ? DirHint::Backward : DirHint::Forward;
         return (*positions_)[target] <= (*positions_)[src]
@@ -91,6 +128,7 @@ class DirOracle
 
   private:
     const std::vector<std::uint32_t> *positions_ = nullptr;
+    const ChainSet *chains_ = nullptr;
 };
 
 /**

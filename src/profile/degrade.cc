@@ -443,21 +443,25 @@ degradeProfile(Program &program, const WalkOptions &walk,
         return;
       case DegradeKind::Sample:
         sampleProfile(program, spec.n, spec.seed);
-        return;
+        break;
       case DegradeKind::Stale:
         staleProfile(program, walk, spec.seed);
-        return;
+        break;
       case DegradeKind::Perturb:
         perturbProfile(program, spec.param, spec.seed);
-        return;
+        break;
       case DegradeKind::Merge:
         mergeProfiles(program, walk, spec.n, spec.seed);
-        return;
+        break;
       case DegradeKind::Drift:
         driftProfile(program, spec.param);
-        return;
+        break;
+      default:
+        panic("degradeProfile: bad kind");
     }
-    panic("degradeProfile: bad kind");
+    // After the transform: Stale/Merge re-profile internally, which
+    // re-tags Measured — the degraded result must override that.
+    program.setProfileProvenance(ProfileProvenance::Degraded);
 }
 
 }  // namespace balign

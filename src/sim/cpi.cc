@@ -111,6 +111,7 @@ runConfigs(const PreparedProgram &prepared,
         ObjectiveKind objective;
         Arch arch;  ///< only meaningful for arch-dependent layouts
         DegradeSpec degrade;
+        ProfileSource source;
 
         bool
         operator<(const LayoutKey &other) const
@@ -121,6 +122,8 @@ runConfigs(const PreparedProgram &prepared,
                 return objective < other.objective;
             if (arch != other.arch)
                 return arch < other.arch;
+            if (source != other.source)
+                return source < other.source;
             return degrade < other.degrade;
         }
     };
@@ -137,14 +140,22 @@ runConfigs(const PreparedProgram &prepared,
         const bool arch_dependent =
             (guided && objectiveArchDependent(config.objective)) ||
             config.arch == Arch::BtFnt;
-        // The identity layout never reads the profile, so degradation
-        // cannot change it; collapsing its key avoids duplicate layouts.
-        const DegradeSpec degrade = config.kind == AlignerKind::Original
-                                        ? DegradeSpec::none()
-                                        : config.degrade;
+        // The identity layout never reads the profile, so neither
+        // degradation nor the profile source can change it; collapsing
+        // its key avoids duplicate layouts. An estimated profile
+        // replaces the weights wholesale, so degradation is moot there
+        // too.
+        const ProfileSource source = config.kind == AlignerKind::Original
+                                         ? ProfileSource::Measured
+                                         : config.source;
+        const DegradeSpec degrade =
+            config.kind == AlignerKind::Original ||
+                    source == ProfileSource::Estimated
+                ? DegradeSpec::none()
+                : config.degrade;
         return LayoutKey{config.kind, config.objective,
                          arch_dependent ? config.arch : Arch::Fallthrough,
-                         degrade};
+                         degrade, source};
     };
 
     // Deduplicate the layout keys first so each distinct layout is aligned
@@ -170,7 +181,14 @@ runConfigs(const PreparedProgram &prepared,
         arch_options.objective = config.objective;
         if (config.arch == Arch::BtFnt)
             arch_options.chainOrder = ChainOrderPolicy::BtFntPrecedence;
-        if (config.kind != AlignerKind::Original && !config.degrade.isNone()) {
+        if (config.kind != AlignerKind::Original &&
+            config.source == ProfileSource::Estimated) {
+            // Profile-free layout: alignProgram estimates internally.
+            arch_options.profileSource = ProfileSource::Estimated;
+            layouts[i] = std::make_unique<ProgramLayout>(alignProgram(
+                program, config.kind, model.get(), arch_options));
+        } else if (config.kind != AlignerKind::Original &&
+                   !config.degrade.isNone()) {
             // Align on the degraded profile; evaluation below still
             // replays the true recorded trace (degradations only touch
             // edge weights, so the layout maps onto the same CFG).

@@ -61,6 +61,13 @@ struct ExperimentConfig
     /// still replays the true recorded trace — the align-on-degraded /
     /// measure-on-true scenario (ROADMAP item 3).
     DegradeSpec degrade = DegradeSpec::none();
+
+    /// Profile source for this cell's layout: Measured consumes the
+    /// prepared profile (optionally degraded per `degrade`); Estimated
+    /// aligns on the static estimate (estimate/estimate.h) and ignores
+    /// `degrade` — the profile-free endpoint of the robustness axis.
+    /// Evaluation always replays the true recorded trace.
+    ProfileSource source = ProfileSource::Measured;
 };
 
 /// One evaluated configuration.

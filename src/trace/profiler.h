@@ -24,7 +24,10 @@ namespace balign {
 class Profiler : public EventSink
 {
   public:
-    explicit Profiler(Program &program) : program_(program) {}
+    explicit Profiler(Program &program) : program_(program)
+    {
+        program_.setProfileProvenance(ProfileProvenance::Measured);
+    }
 
     void onBlock(ProcId proc, BlockId block) override;
     void onCall(ProcId proc, BlockId block, const CallSite &site) override;

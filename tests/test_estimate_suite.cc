@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The `ctest -L estimate` full-suite group: the static profile estimator
+ * run over all 24 benchmark models.
+ *
+ * Determinism is a documented contract (estimate/estimate.h): the same
+ * program must produce byte-identical estimated weights on every run,
+ * regardless of BALIGN_THREADS — the estimator never touches the thread
+ * pool, and this suite pins that down by serializing the estimated
+ * program under different env settings and comparing bytes.
+ *
+ * Drop-in validity is the other contract: an estimated profile must pass
+ * the same prof.* and layout.* lint rules a measured profile does, and the
+ * layouts aligned against it must still verify (translation validation),
+ * so profile-free alignment can never ship a layout a trace-driven run
+ * would reject.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bpred/cost_model.h"
+#include "cfg/serialize.h"
+#include "core/align_program.h"
+#include "estimate/estimate.h"
+#include "lint/lint.h"
+#include "trace/profiler.h"
+#include "trace/walker.h"
+#include "verify/verify.h"
+#include "workload/generator.h"
+#include "workload/suite.h"
+
+using namespace balign;
+
+namespace {
+
+constexpr std::uint64_t kSuiteBudget = 100'000;
+
+/// Generates the model and gives it the measured profile the estimator
+/// is expected to discard (the realistic starting state).
+Program
+suiteProgram(const std::string &name)
+{
+    Program program = generateProgram(suiteSpec(name));
+    Profiler profiler(program);
+    WalkOptions options;
+    options.seed = 1;
+    options.instrBudget = kSuiteBudget;
+    walk(program, options, profiler);
+    return program;
+}
+
+/// Runs the estimator with BALIGN_THREADS set to @p threads and returns
+/// the serialized estimated program (weights + provenance tag included).
+std::string
+estimateWithThreads(const Program &original, const char *threads)
+{
+    const char *saved = std::getenv("BALIGN_THREADS");
+    const std::string saved_value = saved != nullptr ? saved : "";
+    ::setenv("BALIGN_THREADS", threads, 1);
+    Program copy = original;
+    estimateProfile(copy);
+    if (saved != nullptr)
+        ::setenv("BALIGN_THREADS", saved_value.c_str(), 1);
+    else
+        ::unsetenv("BALIGN_THREADS");
+    return programToString(copy);
+}
+
+class EstimateSuite : public testing::TestWithParam<std::string>
+{
+};
+
+}  // namespace
+
+TEST_P(EstimateSuite, ByteIdenticalAcrossThreadsAndRuns)
+{
+    const Program original = suiteProgram(GetParam());
+    const std::string first = estimateWithThreads(original, "1");
+    const std::string again = estimateWithThreads(original, "1");
+    const std::string wide = estimateWithThreads(original, "13");
+    EXPECT_EQ(first, again) << "repeated estimation drifted";
+    EXPECT_EQ(first, wide) << "BALIGN_THREADS changed the estimate";
+    EXPECT_NE(first.find("profile estimated"), std::string::npos)
+        << "serialized estimated program must carry its provenance tag";
+}
+
+TEST_P(EstimateSuite, EstimatedProfileLintsClean)
+{
+    Program program = suiteProgram(GetParam());
+    estimateProfile(program);
+    ASSERT_EQ(program.profileProvenance(), ProfileProvenance::Estimated);
+
+    // Two architectures keep the layout matrix cheap; prof.* / est.* /
+    // cost.* are architecture-independent and run either way.
+    LintRunOptions run;
+    run.archs = {Arch::BtFnt, Arch::PhtDirect};
+    const LintReport report = lintProgram(program, run);
+    EXPECT_EQ(report.profileProvenance, "estimated");
+    if (report.errors() != 0)
+        ADD_FAILURE() << formatLintReport(report, GetParam());
+}
+
+TEST_P(EstimateSuite, EstimatedLayoutsVerify)
+{
+    Program program = suiteProgram(GetParam());
+    estimateProfile(program);
+
+    const CostModel model(Arch::BtFnt);
+    AlignOptions options;
+    options.verify = false;  // verify explicitly below, as findings
+    for (const AlignerKind kind : {AlignerKind::Cost, AlignerKind::Try15}) {
+        const ProgramLayout layout =
+            alignProgram(program, kind, &model, options);
+        const VerifyResult result = verifyLayout(program, layout);
+        for (const VerifyFailure &failure : result.failures)
+            ADD_FAILURE() << GetParam() << " "
+                          << alignerKindName(kind) << ": "
+                          << formatVerifyFailure(failure);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite24, EstimateSuite, [] {
+    std::vector<std::string> names;
+    for (const ProgramSpec &spec : benchmarkSuite())
+        names.push_back(spec.name);
+    return testing::ValuesIn(names);
+}(), [](const testing::TestParamInfo<std::string> &param) {
+    std::string name = param.param;
+    for (char &c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+});

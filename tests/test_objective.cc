@@ -93,7 +93,11 @@ struct GoldenRow
 };
 
 // Captured from the pre-refactor tree (commit 3cd64d5) with the dumper
-// described in the file comment. 24 programs x 4 aligners.
+// described in the file comment. 24 programs x 4 aligners. The cost and
+// try15 rows were re-captured when DirOracle learned to resolve
+// same-chain directions from the live ChainSet (definitive evidence the
+// id-based fallback got wrong on rotated loops); original and greedy
+// never consult the oracle and still match the pre-refactor seed.
 const GoldenRow kGoldenRows[] = {
     {"alvinn", "original", 0xd73849b8910e9365ull},
     {"alvinn", "greedy", 0xd73849b8910e9365ull},
@@ -101,8 +105,8 @@ const GoldenRow kGoldenRows[] = {
     {"alvinn", "try15", 0xd217f2203047b32aull},
     {"doduc", "original", 0x88787fefc51ac355ull},
     {"doduc", "greedy", 0x75c49446b68a7fb4ull},
-    {"doduc", "cost", 0xc56624fee2cc2aa3ull},
-    {"doduc", "try15", 0xe66a3eebd1508760ull},
+    {"doduc", "cost", 0xc302d1ec89d54bd3ull},
+    {"doduc", "try15", 0x943a8899bc4c8f1cull},
     {"ear", "original", 0x38cf138ff3b5bb75ull},
     {"ear", "greedy", 0x3bb640bc541731bcull},
     {"ear", "cost", 0xed6718d8f4bac298ull},
@@ -117,7 +121,7 @@ const GoldenRow kGoldenRows[] = {
     {"hydro2d", "try15", 0xfb30c717831dba3aull},
     {"mdljsp2", "original", 0x2324fb165fd5ae15ull},
     {"mdljsp2", "greedy", 0xb5da9314492051a5ull},
-    {"mdljsp2", "cost", 0xed44ee1850d7f17dull},
+    {"mdljsp2", "cost", 0x854775c98b3f058full},
     {"mdljsp2", "try15", 0xb2a2956927756990ull},
     {"nasa7", "original", 0xd96dc5b2ecffa015ull},
     {"nasa7", "greedy", 0xacea69f472a81fdeull},
@@ -129,12 +133,12 @@ const GoldenRow kGoldenRows[] = {
     {"ora", "try15", 0x952abd8adaa32cd3ull},
     {"spice", "original", 0xf107b1dd1244efd5ull},
     {"spice", "greedy", 0x777cd4df6bd1fc90ull},
-    {"spice", "cost", 0x7e25d995dc4cfe03ull},
-    {"spice", "try15", 0x64907397cc66d8e3ull},
+    {"spice", "cost", 0xfe9438b927e6b41full},
+    {"spice", "try15", 0xeff91ef91150a4ccull},
     {"su2cor", "original", 0x22c14511686338e5ull},
     {"su2cor", "greedy", 0x3559bc450cbbb216ull},
     {"su2cor", "cost", 0xb771390211c2795full},
-    {"su2cor", "try15", 0xeb94a63f3fa255fbull},
+    {"su2cor", "try15", 0xac7ab2836a6daeceull},
     {"swm256", "original", 0x35fce9334e29fee5ull},
     {"swm256", "greedy", 0x34ccac0d3402d136ull},
     {"swm256", "cost", 0x980361db1e7a41faull},
@@ -146,51 +150,51 @@ const GoldenRow kGoldenRows[] = {
     {"wave5", "original", 0xfac80cdf26557d75ull},
     {"wave5", "greedy", 0xbc08b13e1dd26f65ull},
     {"wave5", "cost", 0xe2d5a3059d736f73ull},
-    {"wave5", "try15", 0x01a8fa053f0c6ad2ull},
+    {"wave5", "try15", 0x53a4466802e5c69eull},
     {"compress", "original", 0x6872f2fc7fce37a5ull},
     {"compress", "greedy", 0x3d098326a407371aull},
-    {"compress", "cost", 0xfc5e61ac654c1d2eull},
-    {"compress", "try15", 0x15e36ee7aeb30487ull},
+    {"compress", "cost", 0x9c8e3296917607f3ull},
+    {"compress", "try15", 0xd1d219db20d25e8bull},
     {"eqntott", "original", 0xfb2631d5ce43a265ull},
     {"eqntott", "greedy", 0x823e121217f26ae1ull},
     {"eqntott", "cost", 0xa484de10a77dca18ull},
-    {"eqntott", "try15", 0x4109b7db79ee6eebull},
+    {"eqntott", "try15", 0xdeaef7515113740cull},
     {"espresso", "original", 0x3ff0fa05bef4f555ull},
     {"espresso", "greedy", 0xcb5f698ceb3d33fcull},
-    {"espresso", "cost", 0xc46913bc8a94df8cull},
-    {"espresso", "try15", 0xb816843476aedffcull},
+    {"espresso", "cost", 0x9e0e2d89544ad964ull},
+    {"espresso", "try15", 0x7167a189e43029e7ull},
     {"gcc", "original", 0x3deefd2f2484b315ull},
     {"gcc", "greedy", 0x54b07515c346c27dull},
-    {"gcc", "cost", 0xb548ef03b8defeacull},
-    {"gcc", "try15", 0xbf7c5e5980f6a226ull},
+    {"gcc", "cost", 0x0b13af0e17ac76c3ull},
+    {"gcc", "try15", 0x7ab2afa60a219a17ull},
     {"li", "original", 0xb54ecefb31b7cf65ull},
     {"li", "greedy", 0x6df81cc3fdb88072ull},
-    {"li", "cost", 0xe6c08d841b0a4c01ull},
-    {"li", "try15", 0xa84dd1188530d61aull},
+    {"li", "cost", 0xb1cedeeb205e3c44ull},
+    {"li", "try15", 0xeb4b1bb7f13feb08ull},
     {"sc", "original", 0x850e729722b0b5c5ull},
     {"sc", "greedy", 0x918b52fbf8fdf4a1ull},
-    {"sc", "cost", 0xc6192573a0db3381ull},
-    {"sc", "try15", 0x46d889260e5cd245ull},
+    {"sc", "cost", 0xd67932c6a204adc7ull},
+    {"sc", "try15", 0xc1bf96b3e22ce46full},
     {"cfront", "original", 0x6bbc0072a65242c5ull},
     {"cfront", "greedy", 0x3a59b504bce295d4ull},
-    {"cfront", "cost", 0xb6dd4a4ae0565d78ull},
-    {"cfront", "try15", 0x0320f364902bd9f3ull},
+    {"cfront", "cost", 0x54ef6ae4c5106e42ull},
+    {"cfront", "try15", 0x499f137234a73b19ull},
     {"db++", "original", 0x2f9c3791595a6975ull},
     {"db++", "greedy", 0x8cf41b3ff04262a1ull},
-    {"db++", "cost", 0x2f099c203478f959ull},
-    {"db++", "try15", 0xb42085fbf4ecec91ull},
+    {"db++", "cost", 0x7f3b2ab0eae001f0ull},
+    {"db++", "try15", 0xbbe8a2f569bb7295ull},
     {"groff", "original", 0x7d0ac20bf546e0c5ull},
     {"groff", "greedy", 0x8326b338d6e0eab4ull},
-    {"groff", "cost", 0x6abb64a0e8ef8429ull},
-    {"groff", "try15", 0x62eae4ed48e1975aull},
+    {"groff", "cost", 0xdffcb21d172a7c12ull},
+    {"groff", "try15", 0x3f150d6215359ef5ull},
     {"idl", "original", 0x5530503f02cb2b25ull},
     {"idl", "greedy", 0x7f9158fb58fcb25eull},
-    {"idl", "cost", 0x754fa0dfa95c58afull},
-    {"idl", "try15", 0x151a4a70838e5a35ull},
+    {"idl", "cost", 0x4acdc732c9de0feeull},
+    {"idl", "try15", 0xcb593ae85fa6213aull},
     {"tex", "original", 0x4b6fd11e598f95a5ull},
     {"tex", "greedy", 0xc759960a710254daull},
-    {"tex", "cost", 0x0cb71ec52a0d9da4ull},
-    {"tex", "try15", 0x4ab45a0245dfcbf8ull},
+    {"tex", "cost", 0x9977432c06c5c19cull},
+    {"tex", "try15", 0x0601fd4f60ccb4dbull},
 };
 
 AlignerKind

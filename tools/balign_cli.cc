@@ -48,6 +48,18 @@
  *       Replay one repro (or any serialized program) through the
  *       differential oracle; prints the divergence or "no divergence".
  *
+ *   balign estimate <FILE>... [--json] [-o FILE]
+ *   balign estimate --suite [--json]
+ *       Synthesize a static profile (estimate/estimate.h) for each
+ *       program from its CFG alone — no trace — and print the
+ *       estimation report: per-heuristic hit counts, per-procedure
+ *       propagation summaries (irreducible fallbacks, stranded flow) and
+ *       per-branch provenance (which heuristics voted, the combined
+ *       probability). --json emits one machine-readable report array
+ *       (schema_version included). With a single input, -o FILE writes
+ *       the estimated program (provenance tag included) for further
+ *       subcommands.
+ *
  *   balign lint <FILE>... [--json] [--instrs N] [--seed S]
  *   balign lint --suite [--json] [--instrs N] [--seed S]
  *       Statically verify programs without replaying traces: CFG
@@ -92,6 +104,7 @@
 #include "check/fuzz.h"
 #include "core/align_program.h"
 #include "core/unroll.h"
+#include "estimate/estimate.h"
 #include "layout/materialize.h"
 #include "lint/lint.h"
 #include "profile/degrade.h"
@@ -542,14 +555,17 @@ cmdRepro(const Args &args)
 
 /**
  * Collects (display name, profiled program) pairs for the static
- * subcommands (lint / verify): either the 24-program benchmark suite or
- * the given files, profiled with their embedded walk parameters. Returns
- * 0, or 2 for a usage or IO error (printed to stderr) — the static
- * subcommands reserve exit 1 for findings.
+ * subcommands (lint / verify / estimate): either the 24-program
+ * benchmark suite or the given files, profiled with their embedded walk
+ * parameters (estimate passes profile=false — it synthesizes weights
+ * from the CFG alone, so the walk would be wasted work). Returns 0, or 2
+ * for a usage or IO error (printed to stderr) — the static subcommands
+ * reserve exit 1 for findings.
  */
 int
 collectStaticInputs(const Args &args, const char *command,
-                    std::vector<std::pair<std::string, Program>> &inputs)
+                    std::vector<std::pair<std::string, Program>> &inputs,
+                    bool profile = true)
 {
     auto profile_with = [](Program &program, std::uint64_t seed,
                            std::uint64_t budget) {
@@ -564,7 +580,8 @@ collectStaticInputs(const Args &args, const char *command,
     if (args.suite) {
         for (const ProgramSpec &spec : benchmarkSuite()) {
             Program program = generateProgram(spec);
-            profile_with(program, args.seed, args.instrs);
+            if (profile)
+                profile_with(program, args.seed, args.instrs);
             inputs.emplace_back(program.name(), std::move(program));
         }
         return 0;
@@ -582,10 +599,49 @@ collectStaticInputs(const Args &args, const char *command,
         }
         if (args.instrsSet)
             repro->walk.instrBudget = args.instrs;
-        profile_with(repro->program, repro->walk.seed,
-                     repro->walk.instrBudget);
+        // Inputs carrying a degraded or estimated profile (the serialized
+        // `profile <tag>` line) are linted as-is: re-walking would clobber
+        // the very weights under test and re-tag them Measured.
+        if (profile &&
+            repro->program.profileProvenance() == ProfileProvenance::Measured)
+            profile_with(repro->program, repro->walk.seed,
+                         repro->walk.instrBudget);
         inputs.emplace_back(path, std::move(repro->program));
     }
+    return 0;
+}
+
+int
+cmdEstimate(const Args &args)
+{
+    std::vector<std::pair<std::string, Program>> inputs;
+    if (const int status = collectStaticInputs(args, "estimate", inputs,
+                                               /*profile=*/false))
+        return status;
+    if (!args.output.empty() && inputs.size() != 1) {
+        std::fprintf(stderr,
+                     "estimate: -o needs exactly one input program\n");
+        return 2;
+    }
+
+    bool first = true;
+    if (args.json)
+        std::cout << "[\n";
+    for (auto &[name, program] : inputs) {
+        const EstimateReport report = estimateProfile(program);
+        if (args.json) {
+            if (!first)
+                std::cout << ",\n";
+            writeEstimateReportJson(report, program, std::cout);
+        } else {
+            std::cout << formatEstimateReport(report, program);
+        }
+        first = false;
+    }
+    if (args.json)
+        std::cout << "\n]\n";
+    if (!args.output.empty())
+        saveProgram(inputs.front().second, args.output);
     return 0;
 }
 
@@ -714,6 +770,8 @@ usage()
         "  dot <FILE> [--proc N]                      Graphviz output\n"
         "  fuzz [--seeds N] [--instrs N] [-o DIR]     differential fuzzing\n"
         "  repro <FILE> [--instrs N]                  replay one repro\n"
+        "  estimate <FILE>...|--suite [--json]        synthesize a static\n"
+        "                                             profile, no trace\n"
         "  lint <FILE>...|--suite [--json]            static verification\n"
         "  verify <FILE>...|--suite [--json] [-o DIR] prove layouts, emit\n"
         "                                             certificates\n"
@@ -759,6 +817,8 @@ main(int argc, char **argv)
         return cmdFuzz(args);
     if (command == "repro")
         return cmdRepro(args);
+    if (command == "estimate")
+        return cmdEstimate(args);
     if (command == "lint")
         return cmdLint(args);
     if (command == "verify")

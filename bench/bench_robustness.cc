@@ -19,6 +19,12 @@
  * CPI delta vs. the true-profile alignment is paired across objectives
  * and a two-sided sign test reports whether one objective degrades
  * significantly less than the other under that specific degradation.
+ * The sign tests are run per ARCHITECTURE: the full ladder on the
+ * headline BT/FNT machine, and a reduced ladder (one representative
+ * severity per degradation family plus the static-estimate endpoint) on
+ * every other Table-1 architecture, so robustness.json records a
+ * p-value per (aligner, arch, degradation) rather than assuming the
+ * BT/FNT ordering generalizes. Printed tables stay BT/FNT.
  *
  * Part 2 — incremental realignment. For each program and contender the
  * profile is moved (perturb eps=0.5) and realignProgram sweeps a
@@ -42,6 +48,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "check/differ.h"
 #include "core/realign.h"
 #include "layout/layout_diff.h"
 #include "layout/materialize.h"
@@ -104,6 +111,21 @@ severityLadder()
     for (const double t : {0.25, 0.5, 0.75, 1.0})
         ladder.push_back(makeSpec(DegradeKind::Drift, 0, t, 1));
     return ladder;
+}
+
+/// One representative severity per family — the per-architecture sign
+/// tests walk this instead of the full ladder to keep the cell count
+/// linear in the number of architectures. The leading None is the
+/// delta zero point, as in severityLadder().
+std::vector<DegradeSpec>
+reducedLadder()
+{
+    return {DegradeSpec::none(),
+            makeSpec(DegradeKind::Sample, 64, 0.0, 1),
+            makeSpec(DegradeKind::Stale, 0, 0.0, 2),
+            makeSpec(DegradeKind::Perturb, 0, 0.5, 1),
+            makeSpec(DegradeKind::Merge, 3, 0.0, 1),
+            makeSpec(DegradeKind::Drift, 0, 0.5, 1)};
 }
 
 /**
@@ -217,6 +239,32 @@ main(int argc, char **argv)
         configs.push_back(estimated);
     }
 
+    // The per-architecture sign-test cells: every non-headline Table-1
+    // architecture walks the reduced ladder (plus the estimate endpoint)
+    // under each contender. The headline arch reuses the full-ladder
+    // cells above.
+    const std::vector<DegradeSpec> reduced = reducedLadder();
+    const std::size_t num_reduced = reduced.size() + 1;
+    std::vector<Arch> other_archs;
+    for (const Arch arch : allArchs()) {
+        if (arch != kArch)
+            other_archs.push_back(arch);
+    }
+    for (const Arch arch : other_archs) {
+        for (const Contender &contender : kContenders) {
+            for (const DegradeSpec &spec : reduced) {
+                ExperimentConfig config{arch, contender.kind,
+                                        contender.objective};
+                config.degrade = spec;
+                configs.push_back(config);
+            }
+            ExperimentConfig estimated{arch, contender.kind,
+                                       contender.objective};
+            estimated.source = ProfileSource::Estimated;
+            configs.push_back(estimated);
+        }
+    }
+
     const bench::WallClock wall;
     PhaseTimes times;
     RunnerOptions runner;
@@ -228,11 +276,25 @@ main(int argc, char **argv)
     std::vector<std::vector<std::vector<double>>> values(
         kNumContenders,
         std::vector<std::vector<double>>(num_points));
+    // archValues[a][c][p][program]: the reduced-ladder cells of the
+    // non-headline architectures, in `other_archs` order.
+    std::vector<std::vector<std::vector<std::vector<double>>>> archValues(
+        other_archs.size(),
+        std::vector<std::vector<std::vector<double>>>(
+            kNumContenders,
+            std::vector<std::vector<double>>(num_reduced)));
     for (const ExperimentRun &run : runs) {
         std::size_t cell = 1;  // skip the Original cell
         for (std::size_t c = 0; c < kNumContenders; ++c) {
             for (std::size_t p = 0; p < num_points; ++p)
                 values[c][p].push_back(run.cells[cell++].relCpi);
+        }
+        for (std::size_t a = 0; a < other_archs.size(); ++a) {
+            for (std::size_t c = 0; c < kNumContenders; ++c) {
+                for (std::size_t p = 0; p < num_reduced; ++p)
+                    archValues[a][c][p].push_back(
+                        run.cells[cell++].relCpi);
+            }
         }
     }
     std::vector<std::vector<double>> curves(
@@ -271,6 +333,36 @@ main(int argc, char **argv)
             cmp.meanDeltaTc /= static_cast<double>(runs.size());
             cmp.meanDeltaXt /= static_cast<double>(runs.size());
             cmp.pValue = signTestPValue(cmp.winsXt, cmp.winsTc);
+        }
+    }
+    // The same pairing per non-headline architecture over the reduced
+    // ladder.
+    std::vector<std::vector<std::vector<DeltaCompare>>> archCompares(
+        other_archs.size(),
+        std::vector<std::vector<DeltaCompare>>(
+            2, std::vector<DeltaCompare>(num_reduced)));
+    for (std::size_t a = 0; a < other_archs.size(); ++a) {
+        for (std::size_t pair = 0; pair < 2; ++pair) {
+            const std::size_t tc = kPairs[pair][0];
+            const std::size_t xt = kPairs[pair][1];
+            for (std::size_t p = 0; p < num_reduced; ++p) {
+                DeltaCompare &cmp = archCompares[a][pair][p];
+                for (std::size_t i = 0; i < runs.size(); ++i) {
+                    const double delta_tc =
+                        archValues[a][tc][p][i] - archValues[a][tc][0][i];
+                    const double delta_xt =
+                        archValues[a][xt][p][i] - archValues[a][xt][0][i];
+                    cmp.meanDeltaTc += delta_tc;
+                    cmp.meanDeltaXt += delta_xt;
+                    if (delta_xt < delta_tc)
+                        ++cmp.winsXt;
+                    else if (delta_tc < delta_xt)
+                        ++cmp.winsTc;
+                }
+                cmp.meanDeltaTc /= static_cast<double>(runs.size());
+                cmp.meanDeltaXt /= static_cast<double>(runs.size());
+                cmp.pValue = signTestPValue(cmp.winsXt, cmp.winsTc);
+            }
         }
     }
 
@@ -358,23 +450,48 @@ main(int argc, char **argv)
             os << "]}";
         }
         os << "],\"sign_tests\":[";
+        const auto emitPoint = [&os](bool first, const char *degrade,
+                                     const std::string &severity,
+                                     const DeltaCompare &cmp) {
+            os << (first ? "" : ",") << "{\"degrade\":\"" << degrade
+               << "\",\"severity\":\"" << severity
+               << "\",\"mean_delta_table_cost\":" << cmp.meanDeltaTc
+               << ",\"mean_delta_exttsp\":" << cmp.meanDeltaXt
+               << ",\"wins_exttsp\":" << cmp.winsXt
+               << ",\"wins_table_cost\":" << cmp.winsTc
+               << ",\"p_value\":" << cmp.pValue << "}";
+        };
+        bool first_entry = true;
         for (std::size_t pair = 0; pair < 2; ++pair) {
-            os << (pair ? "," : "") << "{\"aligner\":\""
-               << kPairNames[pair] << "\",\"points\":[";
+            os << (first_entry ? "" : ",") << "{\"aligner\":\""
+               << kPairNames[pair] << "\",\"arch\":\"" << archName(kArch)
+               << "\",\"ladder\":\"full\",\"points\":[";
+            first_entry = false;
             for (std::size_t p = 0; p < num_points; ++p) {
                 const bool est = p >= ladder.size();
-                const DeltaCompare &cmp = compares[pair][p];
-                os << (p ? "," : "") << "{\"degrade\":\""
-                   << (est ? "estimate" : degradeKindName(ladder[p].kind))
-                   << "\",\"severity\":\""
-                   << (est ? "static" : ladder[p].severityLabel())
-                   << "\",\"mean_delta_table_cost\":" << cmp.meanDeltaTc
-                   << ",\"mean_delta_exttsp\":" << cmp.meanDeltaXt
-                   << ",\"wins_exttsp\":" << cmp.winsXt
-                   << ",\"wins_table_cost\":" << cmp.winsTc
-                   << ",\"p_value\":" << cmp.pValue << "}";
+                emitPoint(p == 0,
+                          est ? "estimate"
+                              : degradeKindName(ladder[p].kind),
+                          est ? "static" : ladder[p].severityLabel(),
+                          compares[pair][p]);
             }
             os << "]}";
+        }
+        for (std::size_t a = 0; a < other_archs.size(); ++a) {
+            for (std::size_t pair = 0; pair < 2; ++pair) {
+                os << ",{\"aligner\":\"" << kPairNames[pair]
+                   << "\",\"arch\":\"" << archName(other_archs[a])
+                   << "\",\"ladder\":\"reduced\",\"points\":[";
+                for (std::size_t p = 0; p < num_reduced; ++p) {
+                    const bool est = p >= reduced.size();
+                    emitPoint(p == 0,
+                              est ? "estimate"
+                                  : degradeKindName(reduced[p].kind),
+                              est ? "static" : reduced[p].severityLabel(),
+                              archCompares[a][pair][p]);
+                }
+                os << "]}";
+            }
         }
         os << "],\"realign\":[";
         for (std::size_t c = 0; c < kNumContenders; ++c) {

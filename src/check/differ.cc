@@ -21,6 +21,7 @@ divergenceKindName(DivergenceKind kind)
       case DivergenceKind::Batch: return "batch";
       case DivergenceKind::Realign: return "realign";
       case DivergenceKind::Estimate: return "estimate";
+      case DivergenceKind::Emit: return "emit";
     }
     return "?";
 }

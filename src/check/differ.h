@@ -58,6 +58,11 @@ enum class DivergenceKind : std::uint8_t {
                  ///< synthesized a profile that breaks the prof.*/est.*
                  ///< invariants, or a layout aligned on it failed the
                  ///< translation validator
+    Emit,        ///< the emission backend (emit/relax.h, emit/elf.h) broke
+                 ///< its contract: relaxation failed to converge, the
+                 ///< relaxed layout failed verification or re-relaxed to
+                 ///< different bytes, or the ELF object did not round-trip
+                 ///< through the self-contained reader
 };
 
 /// Printable kind name.

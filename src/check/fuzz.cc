@@ -7,6 +7,8 @@
 #include "cfg/serialize.h"
 #include "cfg/validate.h"
 #include "core/realign.h"
+#include "emit/elf.h"
+#include "emit/relax.h"
 #include "estimate/estimate.h"
 #include "layout/layout_diff.h"
 #include "lint/lint.h"
@@ -844,6 +846,112 @@ estimateGateCheck(const Program &program, const DiffOptions &options)
     return std::nullopt;
 }
 
+std::optional<Divergence>
+emitGateCheck(const Program &program, const DiffOptions &options)
+{
+    const std::vector<AlignerKind> kinds =
+        options.kinds.empty() ? allAlignerKindsExtended() : options.kinds;
+    const std::vector<ObjectiveKind> objectives =
+        options.objectives.empty()
+            ? std::vector<ObjectiveKind>{options.align.objective}
+            : options.objectives;
+    const CostModel model(Arch::Fallthrough);
+
+    for (const AlignerKind kind : kinds) {
+        for (const ObjectiveKind objective : objectives) {
+            AlignOptions align = options.align;
+            align.objective = objective;
+            align.verify = false;  // failures become findings, not panics
+            const ProgramLayout layout =
+                alignProgram(program, kind, &model, align);
+
+            auto report = [&](EncodingModelKind encoding,
+                              const std::string &what,
+                              const std::string &detail) {
+                Divergence divergence;
+                divergence.kind = DivergenceKind::Emit;
+                divergence.aligner = kind;
+                divergence.objective = objective;
+                divergence.program = program.name();
+                divergence.detail = std::string("  ") +
+                                    encodingModelKindName(encoding) +
+                                    ": " + what + ": " + detail + "\n";
+                return divergence;
+            };
+
+            for (const EncodingModelKind encoding :
+                 allEncodingModelKinds()) {
+                const EncodingModel &em = encodingModel(encoding);
+                const RelaxedLayout relaxed =
+                    relaxLayout(program, layout, em);
+                if (!relaxed.converged)
+                    return report(encoding,
+                                  "relaxation did not converge",
+                                  relaxed.diagnostic);
+
+                const VerifyResult proof =
+                    verifyRelaxedLayout(program, layout, relaxed, em);
+                if (!proof.verified())
+                    return report(
+                        encoding, "relaxed layout failed verification",
+                        formatVerifyFailure(proof.failures.front()));
+
+                // Fixpoint determinism: relaxation keeps no hidden
+                // state, so a second run must reproduce every byte.
+                const RelaxedLayout again =
+                    relaxLayout(program, layout, em);
+                if (again.totalBytes != relaxed.totalBytes ||
+                    again.iterations != relaxed.iterations ||
+                    again.instrs.size() != relaxed.instrs.size()) {
+                    std::ostringstream detail;
+                    detail << "bytes " << relaxed.totalBytes << " vs "
+                           << again.totalBytes << ", sweeps "
+                           << relaxed.iterations << " vs "
+                           << again.iterations;
+                    return report(encoding, "second relaxation diverged",
+                                  detail.str());
+                }
+                for (std::size_t i = 0; i < relaxed.instrs.size(); ++i) {
+                    const RelaxedInstr &a = relaxed.instrs[i];
+                    const RelaxedInstr &b = again.instrs[i];
+                    if (a.byteAddr != b.byteAddr || a.form != b.form ||
+                        a.size != b.size || a.disp != b.disp) {
+                        std::ostringstream detail;
+                        detail << "slot " << i << " ("
+                               << instrClassName(a.cls) << " at word "
+                               << a.wordAddr << ") byte " << a.byteAddr
+                               << "/" << branchFormName(a.form) << " vs "
+                               << b.byteAddr << "/"
+                               << branchFormName(b.form);
+                        return report(encoding,
+                                      "second relaxation diverged",
+                                      detail.str());
+                    }
+                }
+
+                const std::vector<std::uint8_t> object =
+                    buildElfObject(program, relaxed, em);
+                const ParsedElf parsed = parseElfObject(object);
+                if (!parsed.ok)
+                    return report(encoding,
+                                  "emitted object failed to parse",
+                                  parsed.error);
+                if (parsed.text != encodeText(relaxed, em)) {
+                    std::ostringstream detail;
+                    detail << "parsed " << parsed.text.size()
+                           << " text byte(s), encoder produced "
+                           << relaxed.totalBytes;
+                    return report(
+                        encoding,
+                        "parsed .text differs from the encoder output",
+                        detail.str());
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
 FuzzReport
 runFuzz(const FuzzOptions &options)
 {
@@ -892,6 +1000,12 @@ runFuzz(const FuzzOptions &options)
         if (options.estimateGate) {
             std::optional<Divergence> hit =
                 estimateGateCheck(prepared.program, first_only);
+            if (hit.has_value())
+                return hit;
+        }
+        if (options.emitGate) {
+            std::optional<Divergence> hit =
+                emitGateCheck(prepared.program, first_only);
             if (hit.has_value())
                 return hit;
         }
@@ -950,6 +1064,8 @@ runFuzz(const FuzzOptions &options)
             ++report.realignHits;
         if (report.divergences.back().kind == DivergenceKind::Estimate)
             ++report.estimateHits;
+        if (report.divergences.back().kind == DivergenceKind::Emit)
+            ++report.emitHits;
 
         std::string path;
         if (!options.corpusDir.empty()) {

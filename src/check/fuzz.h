@@ -104,6 +104,14 @@ struct FuzzOptions
     /// violation is a finding of its own (DivergenceKind::Estimate) and
     /// shrinks exactly like a divergence.
     bool estimateGate = true;
+    /// Relax every aligner's layout under every encoding model
+    /// (emit/relax.h) and check the emission contract: convergence, the
+    /// relaxed-layout proof obligations, fixpoint determinism (a second
+    /// relaxation is byte-identical), and an ELF object that round-trips
+    /// through the self-contained reader with text bytes matching the
+    /// encoder. A violation is a finding of its own (DivergenceKind::Emit)
+    /// and shrinks exactly like a divergence.
+    bool emitGate = true;
 };
 
 /// Campaign outcome.
@@ -125,6 +133,9 @@ struct FuzzReport
     /// (static estimator broke an invariant or produced an unalignable
     /// profile).
     std::uint64_t estimateHits = 0;
+    /// Findings of kind DivergenceKind::Emit among `divergences`
+    /// (relaxation or ELF emission broke its contract).
+    std::uint64_t emitHits = 0;
     /// First divergence per diverging seed, AFTER shrinking.
     std::vector<Divergence> divergences;
     /// Repro files written (parallel to divergences; empty string when
@@ -177,6 +188,19 @@ std::optional<Divergence> realignGateCheck(const Program &program,
  */
 std::optional<Divergence> estimateGateCheck(const Program &program,
                                             const DiffOptions &options = {});
+
+/**
+ * The fuzzer's emission gate: aligns @p program under every configured
+ * (aligner, objective) pair, relaxes each layout under every encoding
+ * model, and checks the full emission contract — convergence, the
+ * relaxed-layout proof obligations (verify/verify.h), a byte-identical
+ * second relaxation, the fixed-word byteAddr == wordAddr * kInstrBytes
+ * identity, and an ELF object (emit/elf.h) that parses back with text
+ * bytes equal to the encoder's. Returns a DivergenceKind::Emit finding,
+ * or nullopt when the backend holds up.
+ */
+std::optional<Divergence> emitGateCheck(const Program &program,
+                                        const DiffOptions &options = {});
 
 /// Runs the campaign: seeds -> programs -> differ -> shrink -> corpus.
 FuzzReport runFuzz(const FuzzOptions &options);

@@ -112,8 +112,8 @@ alignProgram(const Program &program, AlignerKind kind, const CostModel *model,
     // leave the result marginally pricier than the plain greedy chains.
     // Fall back per procedure so the objective price is never worse than
     // greedy's — the invariant lint's cost.monotone rule enforces.
-    const bool can_price = options.objective != ObjectiveKind::TableCost ||
-                           model != nullptr;
+    const bool can_price =
+        !objectiveArchDependent(options.objective) || model != nullptr;
     if (kind != AlignerKind::Greedy && aligner->objectiveGuided() &&
         can_price) {
         const auto objective = makeObjective(options.objective, model);

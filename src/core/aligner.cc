@@ -49,12 +49,12 @@ makeAligner(AlignerKind kind, const CostModel *model,
       case AlignerKind::Greedy:
         return std::make_unique<GreedyAligner>();
       case AlignerKind::Cost:
-        if (options.objective == ObjectiveKind::TableCost && model == nullptr)
+        if (objectiveArchDependent(options.objective) && model == nullptr)
             panic("makeAligner: Cost aligner needs a cost model");
         return std::make_unique<CostAligner>(
             makeObjective(options.objective, model));
       case AlignerKind::Try15:
-        if (options.objective == ObjectiveKind::TableCost && model == nullptr)
+        if (objectiveArchDependent(options.objective) && model == nullptr)
             panic("makeAligner: Try15 aligner needs a cost model");
         return std::make_unique<Try15Aligner>(
             makeObjective(options.objective, model), options);

@@ -97,8 +97,8 @@ alignSelectedProcs(const Program &program, const std::vector<ProcId> &ids,
     // than Greedy under the active objective. Objective prices are
     // base-invariant, so comparing both candidates at base 0 decides
     // exactly as cheaperPerProc does on the contiguous layouts.
-    const bool can_price = options.objective != ObjectiveKind::TableCost ||
-                           model != nullptr;
+    const bool can_price =
+        !objectiveArchDependent(options.objective) || model != nullptr;
     if (kind != AlignerKind::Greedy && aligner->objectiveGuided() &&
         can_price) {
         const auto objective = makeObjective(options.objective, model);

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal relocatable ELF64 object writer (and a self-contained reader
+ * for tests/CI) over a RelaxedLayout.
+ *
+ * The emitted object is the smallest structurally valid relocatable
+ * file a linker-shaped tool can consume:
+ *
+ *   sections  [0] NULL
+ *             [1] .text       encoded bytes of the RelaxedLayout
+ *             [2] .rela.text  one R_X86_64_PLT32 per call site
+ *             [3] .symtab     null + .text section symbol + one GLOBAL
+ *                             STT_FUNC per procedure (value = byte base,
+ *                             size = byte size)
+ *             [4] .strtab
+ *             [5] .shstrtab
+ *
+ * Call displacement fields are emitted as zero and carried by
+ * relocations (r_offset = call byte address + 1, addend -4), the normal
+ * call-via-symbol shape, so intra-object calls and genuinely external
+ * ones look the same to a consumer. e_machine is EM_X86_64 for the
+ * variable encoding model and EM_NONE for the synthetic fixed-word
+ * model.
+ *
+ * All structures are defined here rather than taken from <elf.h> so the
+ * reader side works anywhere the library builds, with no toolchain
+ * dependency — that reader is what CI uses to validate emitted objects.
+ */
+
+#ifndef BALIGN_EMIT_ELF_H
+#define BALIGN_EMIT_ELF_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfg/program.h"
+#include "emit/relax.h"
+
+namespace balign {
+
+/// Encodes the final text bytes of @p relaxed under @p model, in
+/// instruction order. The result has exactly relaxed.totalBytes bytes;
+/// call rel32 fields are zero (relocations carry them).
+std::vector<std::uint8_t> encodeText(const RelaxedLayout &relaxed,
+                                     const EncodingModel &model);
+
+/// One relocation as written/parsed.
+struct ElfRelocation
+{
+    std::uint64_t offset = 0;    ///< byte offset into .text
+    std::uint32_t symbol = 0;    ///< symtab index
+    std::uint32_t type = 0;      ///< R_X86_64_PLT32 for calls
+    std::int64_t addend = 0;
+};
+
+/// One symbol as written/parsed.
+struct ElfSymbolInfo
+{
+    std::string name;
+    std::uint64_t value = 0;
+    std::uint64_t size = 0;
+    std::uint8_t info = 0;     ///< (bind << 4) | type
+    std::uint16_t shndx = 0;
+};
+
+/// Serializes @p relaxed as a relocatable ELF64 object.
+std::vector<std::uint8_t> buildElfObject(const Program &program,
+                                         const RelaxedLayout &relaxed,
+                                         const EncodingModel &model);
+
+/// buildElfObject + write to @p path. Returns false (with a warning) on
+/// I/O failure.
+bool writeElfObject(const std::string &path, const Program &program,
+                    const RelaxedLayout &relaxed,
+                    const EncodingModel &model);
+
+/// Parsed view of a relocatable object (reader side; test/CI use).
+struct ParsedElf
+{
+    bool ok = false;
+    std::string error;  ///< first structural problem when !ok
+
+    std::uint16_t type = 0;     ///< e_type
+    std::uint16_t machine = 0;  ///< e_machine
+    std::vector<std::string> sectionNames;  ///< in header-table order
+    std::vector<std::uint8_t> text;
+    std::vector<ElfSymbolInfo> symbols;     ///< full symtab, index order
+    std::vector<ElfRelocation> relocations;
+};
+
+/**
+ * Structurally validates and decodes @p bytes. Checks the identification
+ * magic, 64-bit little-endian class, ET_REL type, section-header bounds,
+ * section payload bounds, the section name table, symbol string offsets
+ * and relocation offsets against the text size. Never reads out of
+ * bounds on malformed input; the first violation lands in error.
+ */
+ParsedElf parseElfObject(const std::vector<std::uint8_t> &bytes);
+
+}  // namespace balign
+
+#endif  // BALIGN_EMIT_ELF_H

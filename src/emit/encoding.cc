@@ -1,0 +1,223 @@
+#include "emit/encoding.h"
+
+#include <limits>
+
+#include "support/log.h"
+#include "support/types.h"
+
+namespace balign {
+
+namespace {
+
+void
+appendLe32(std::vector<std::uint8_t> &out, std::int64_t value)
+{
+    const auto v = static_cast<std::uint32_t>(value);
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xff));
+}
+
+/**
+ * Legacy model: every slot is one kInstrBytes word and nothing relaxes.
+ * The synthetic encoding is a class tag byte followed by the low three
+ * bytes of the displacement (zero for non-branches) — deterministic and
+ * self-describing, so the ELF round-trip tests can check text bytes
+ * without an external toolchain.
+ */
+class FixedWordModel final : public EncodingModel
+{
+  public:
+    EncodingModelKind kind() const override
+    {
+        return EncodingModelKind::FixedWord;
+    }
+    const char *name() const override { return "fixed-word"; }
+
+    unsigned
+    instrBytes(InstrClass /*cls*/, BranchForm /*form*/) const override
+    {
+        return kInstrBytes;
+    }
+
+    bool relaxable(InstrClass /*cls*/) const override { return false; }
+
+    bool
+    displacementFits(InstrClass /*cls*/, BranchForm /*form*/,
+                     std::int64_t disp) const override
+    {
+        // Three displacement bytes in the synthetic record.
+        return disp >= -(1 << 23) && disp < (1 << 23);
+    }
+
+    void
+    encode(InstrClass cls, BranchForm /*form*/, std::int64_t disp,
+           std::vector<std::uint8_t> &out) const override
+    {
+        const auto v = static_cast<std::uint32_t>(disp);
+        out.push_back(static_cast<std::uint8_t>(0xb0 +
+                                                static_cast<unsigned>(cls)));
+        out.push_back(static_cast<std::uint8_t>(v & 0xff));
+        out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+        out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+    }
+};
+
+/**
+ * x86-64-flavoured variable-length model:
+ *
+ *   Body          0F 1F 40 00         4  (canonical 4-byte nop)
+ *   Call          E8 rel32            5  (rel32 zero; relocation fills)
+ *   CondBranch    74 rel8             2  short
+ *                 0F 84 rel32         6  near
+ *   Jump          EB rel8             2  short
+ *                 E9 rel32            5  near
+ *   IndirectJump  FF E0               2
+ *   Return        C3                  1
+ *
+ * Condition codes are modelled uniformly as JE/JZ: the IR carries branch
+ * *realizations*, not concrete predicates, and relaxation only needs
+ * sizes to be right.
+ */
+class VariableModel final : public EncodingModel
+{
+  public:
+    EncodingModelKind kind() const override
+    {
+        return EncodingModelKind::Variable;
+    }
+    const char *name() const override { return "variable"; }
+
+    unsigned
+    instrBytes(InstrClass cls, BranchForm form) const override
+    {
+        switch (cls) {
+          case InstrClass::Body: return 4;
+          case InstrClass::Call: return 5;
+          case InstrClass::CondBranch:
+            return form == BranchForm::Short ? 2 : 6;
+          case InstrClass::Jump:
+            return form == BranchForm::Short ? 2 : 5;
+          case InstrClass::IndirectJump: return 2;
+          case InstrClass::Return: return 1;
+        }
+        panic("VariableModel::instrBytes: bad class");
+    }
+
+    bool
+    relaxable(InstrClass cls) const override
+    {
+        return cls == InstrClass::CondBranch || cls == InstrClass::Jump;
+    }
+
+    bool
+    displacementFits(InstrClass cls, BranchForm form,
+                     std::int64_t disp) const override
+    {
+        if (!relaxable(cls))
+            return true;
+        if (form == BranchForm::Short)
+            return disp >= -128 && disp <= 127;
+        return disp >= std::numeric_limits<std::int32_t>::min() &&
+               disp <= std::numeric_limits<std::int32_t>::max();
+    }
+
+    void
+    encode(InstrClass cls, BranchForm form, std::int64_t disp,
+           std::vector<std::uint8_t> &out) const override
+    {
+        switch (cls) {
+          case InstrClass::Body:
+            out.insert(out.end(), {0x0f, 0x1f, 0x40, 0x00});
+            return;
+          case InstrClass::Call:
+            out.push_back(0xe8);
+            appendLe32(out, 0);  // relocation fills rel32
+            return;
+          case InstrClass::CondBranch:
+            if (form == BranchForm::Short) {
+                out.push_back(0x74);
+                out.push_back(static_cast<std::uint8_t>(disp));
+            } else {
+                out.push_back(0x0f);
+                out.push_back(0x84);
+                appendLe32(out, disp);
+            }
+            return;
+          case InstrClass::Jump:
+            if (form == BranchForm::Short) {
+                out.push_back(0xeb);
+                out.push_back(static_cast<std::uint8_t>(disp));
+            } else {
+                out.push_back(0xe9);
+                appendLe32(out, disp);
+            }
+            return;
+          case InstrClass::IndirectJump:
+            out.insert(out.end(), {0xff, 0xe0});
+            return;
+          case InstrClass::Return:
+            out.push_back(0xc3);
+            return;
+        }
+        panic("VariableModel::encode: bad class");
+    }
+};
+
+}  // namespace
+
+const char *
+branchFormName(BranchForm form)
+{
+    switch (form) {
+      case BranchForm::None: return "none";
+      case BranchForm::Short: return "short";
+      case BranchForm::Near: return "near";
+    }
+    return "?";
+}
+
+const char *
+encodingModelKindName(EncodingModelKind kind)
+{
+    switch (kind) {
+      case EncodingModelKind::FixedWord: return "fixed-word";
+      case EncodingModelKind::Variable: return "variable";
+    }
+    return "?";
+}
+
+std::optional<EncodingModelKind>
+parseEncodingModelKind(std::string_view name)
+{
+    if (name == "fixed-word" || name == "fixed" || name == "word")
+        return EncodingModelKind::FixedWord;
+    if (name == "variable" || name == "var" || name == "x86")
+        return EncodingModelKind::Variable;
+    return std::nullopt;
+}
+
+const std::vector<EncodingModelKind> &
+allEncodingModelKinds()
+{
+    static const std::vector<EncodingModelKind> kinds = {
+        EncodingModelKind::FixedWord,
+        EncodingModelKind::Variable,
+    };
+    return kinds;
+}
+
+const EncodingModel &
+encodingModel(EncodingModelKind kind)
+{
+    static const FixedWordModel fixed;
+    static const VariableModel variable;
+    switch (kind) {
+      case EncodingModelKind::FixedWord: return fixed;
+      case EncodingModelKind::Variable: return variable;
+    }
+    panic("encodingModel: bad kind");
+}
+
+}  // namespace balign

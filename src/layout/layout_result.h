@@ -17,6 +17,49 @@
 namespace balign {
 
 /**
+ * Class of one laid-out instruction slot, the granularity at which the
+ * emit backend (src/emit/) assigns encodings and byte sizes. Every slot
+ * the materializer accounts for in BlockLayout::finalInstrs maps to
+ * exactly one of these.
+ */
+enum class InstrClass : std::uint8_t {
+    Body,          ///< straight-line instruction (no control transfer)
+    Call,          ///< procedure call (embedded CallSite)
+    CondBranch,    ///< realized conditional branch terminator
+    Jump,          ///< unconditional jump (kept terminator or inserted)
+    IndirectJump,  ///< computed-jump terminator
+    Return,        ///< return terminator
+};
+
+/// Printable name of an instruction class.
+const char *instrClassName(InstrClass cls);
+
+/**
+ * One instruction slot of a realized layout, in address order. This is
+ * the per-instruction size-accounting record: the word-model address of
+ * the slot plus everything an encoder needs to size and target it (the
+ * branch's destination block, or a call's callee).
+ */
+struct LayoutInstr
+{
+    InstrClass cls = InstrClass::Body;
+
+    /// Program-global instruction-word address of the slot.
+    Addr wordAddr = kNoAddr;
+
+    /// Owning procedure and block.
+    ProcId proc = kNoProc;
+    BlockId block = kNoBlock;
+
+    /// For CondBranch/Jump: destination block (same procedure). kNoBlock
+    /// for classes without an intra-procedure target.
+    BlockId targetBlock = kNoBlock;
+
+    /// For Call: the callee procedure.
+    ProcId callee = kNoProc;
+};
+
+/**
  * Per-block placement and transformation record.
  *
  * Address fields are program-global instruction-word addresses (procedure

@@ -43,6 +43,123 @@ branchTargetKind(CondRealization realization)
     panic("branchTargetKind: bad realization");
 }
 
+const char *
+instrClassName(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::Body: return "body";
+      case InstrClass::Call: return "call";
+      case InstrClass::CondBranch: return "cond-branch";
+      case InstrClass::Jump: return "jump";
+      case InstrClass::IndirectJump: return "indirect-jump";
+      case InstrClass::Return: return "return";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Destination block of an edge kind out of @p id, or kNoBlock.
+BlockId
+edgeDst(const Procedure &proc, BlockId id, EdgeKind kind)
+{
+    const std::int64_t index = kind == EdgeKind::Taken
+                                   ? proc.takenEdge(id)
+                                   : proc.fallThroughEdge(id);
+    return index >= 0 ? proc.edge(static_cast<std::uint32_t>(index)).dst
+                      : kNoBlock;
+}
+
+}  // namespace
+
+std::vector<LayoutInstr>
+enumerateProcInstrs(const Procedure &proc, const ProcLayout &layout)
+{
+    std::vector<LayoutInstr> instrs;
+    instrs.reserve(layout.totalInstrs);
+    for (const BlockId id : layout.order) {
+        const BasicBlock &block = proc.block(id);
+        const BlockLayout &bl = layout.blocks[id];
+
+        // Call slots by original instruction offset; the terminator slot
+        // (numInstrs - 1) takes precedence when the terminator is a
+        // branch, so a malformed overlapping call offset never hides it.
+        std::vector<ProcId> callee_at(bl.baseInstrs, kNoProc);
+        for (const CallSite &call : block.calls) {
+            if (call.offset < callee_at.size())
+                callee_at[call.offset] = call.callee;
+        }
+
+        const bool has_term_slot = block.hasBranchInstr() && !bl.jumpRemoved;
+        for (std::uint32_t slot = 0; slot < bl.baseInstrs; ++slot) {
+            LayoutInstr instr;
+            instr.wordAddr = bl.addr + slot;
+            instr.proc = proc.id();
+            instr.block = id;
+            if (has_term_slot && slot == bl.baseInstrs - 1) {
+                switch (block.term) {
+                  case Terminator::CondBranch:
+                    instr.cls = InstrClass::CondBranch;
+                    instr.targetBlock =
+                        edgeDst(proc, id, branchTargetKind(bl.cond));
+                    break;
+                  case Terminator::UncondBranch:
+                    instr.cls = InstrClass::Jump;
+                    instr.targetBlock = edgeDst(proc, id, EdgeKind::Taken);
+                    break;
+                  case Terminator::IndirectJump:
+                    instr.cls = InstrClass::IndirectJump;
+                    break;
+                  case Terminator::Return:
+                    instr.cls = InstrClass::Return;
+                    break;
+                  case Terminator::FallThrough:
+                    break;  // unreachable: hasBranchInstr() is false
+                }
+            } else if (callee_at[slot] != kNoProc) {
+                instr.cls = InstrClass::Call;
+                instr.callee = callee_at[slot];
+            }
+            instrs.push_back(instr);
+        }
+
+        if (bl.jumpInserted) {
+            LayoutInstr jump;
+            jump.cls = InstrClass::Jump;
+            jump.wordAddr = bl.jumpAddr;
+            jump.proc = proc.id();
+            jump.block = id;
+            // The inserted jump reaches the successor the realization
+            // displaced: the fall-through edge for FallThrough blocks and
+            // NeitherJumpToFall, the taken edge for NeitherJumpToTaken.
+            if (block.term == Terminator::CondBranch) {
+                jump.targetBlock = edgeDst(
+                    proc, id,
+                    bl.cond == CondRealization::NeitherJumpToTaken
+                        ? EdgeKind::Taken
+                        : EdgeKind::FallThrough);
+            } else {
+                jump.targetBlock = edgeDst(proc, id, EdgeKind::FallThrough);
+            }
+            instrs.push_back(jump);
+        }
+    }
+    return instrs;
+}
+
+std::vector<LayoutInstr>
+enumerateProgramInstrs(const Program &program, const ProgramLayout &layout)
+{
+    std::vector<LayoutInstr> instrs;
+    instrs.reserve(layout.totalInstrs);
+    for (const auto &proc : program.procs()) {
+        auto proc_instrs =
+            enumerateProcInstrs(proc, layout.procs[proc.id()]);
+        instrs.insert(instrs.end(), proc_instrs.begin(), proc_instrs.end());
+    }
+    return instrs;
+}
+
 namespace {
 
 /// Direction hint from layout order positions (used before addresses

@@ -73,6 +73,24 @@ CondOutcome condOutcome(CondRealization realization, EdgeKind kind);
 /// jump).
 EdgeKind branchTargetKind(CondRealization realization);
 
+/**
+ * Enumerates every instruction slot of @p layout in address order: body
+ * and call slots first, the realized terminator (if it occupies a slot),
+ * then the inserted trailing jump (if any). The result covers exactly
+ * BlockLayout::finalInstrs slots per block, with targetBlock resolved
+ * through the realization (branchTargetKind for conditional branches,
+ * the displaced successor for inserted jumps). This is the ground truth
+ * the emit backend's relaxation pass sizes and the verifier's relaxed
+ * obligations check against.
+ */
+std::vector<LayoutInstr> enumerateProcInstrs(const Procedure &proc,
+                                             const ProcLayout &layout);
+
+/// Program-wide enumeration: procedures in id order (their placement
+/// order), concatenated.
+std::vector<LayoutInstr> enumerateProgramInstrs(const Program &program,
+                                                const ProgramLayout &layout);
+
 }  // namespace balign
 
 #endif  // BALIGN_LAYOUT_MATERIALIZE_H

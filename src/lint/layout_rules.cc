@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "analysis/analysis.h"
+#include "emit/relax.h"
 #include "layout/materialize.h"
 #include "lint/emit.h"
 #include "lint/rules.h"
@@ -397,6 +398,55 @@ lintLoopSplit(const Procedure &proc, const ProcLayout &layout,
     }
 }
 
+/**
+ * layout.reach (Note): a conditional branch whose displacement, at the
+ * relaxation fixpoint of the active encoding model, escapes the short
+ * form and pays for the near encoding. Like loop-split this only
+ * annotates — a far target can be the globally cheaper layout — but it
+ * names the distance so the miss is actionable.
+ */
+void
+lintReach(const Procedure &proc, const ProcLayout &layout,
+          const LintOptions &options, std::vector<Diagnostic> &sink)
+{
+    const EncodingModel &model = encodingModel(options.encoding);
+    if (!model.relaxable(InstrClass::CondBranch))
+        return;  // no short form to escape (fixed-word model)
+
+    // Relaxation assumes coherent per-block slot accounting; when it is
+    // broken, layout.sizes already reported and there is nothing
+    // meaningful to relax.
+    for (const BlockId id : layout.order) {
+        const BlockLayout &bl = layout.blocks[id];
+        if (bl.finalInstrs != bl.baseInstrs + (bl.jumpInserted ? 1 : 0))
+            return;
+    }
+
+    const long long short_min = -128, short_max = 127;
+    const ProcRelaxation relaxed = relaxProc(proc, layout, model);
+    for (const RelaxedInstr &instr : relaxed.instrs) {
+        if (instr.cls != InstrClass::CondBranch ||
+            instr.form != BranchForm::Near)
+            continue;
+        std::ostringstream msg;
+        msg << "conditional branch at word " << instr.wordAddr
+            << " needs the near form: block " << instr.targetBlock
+            << " is " << instr.disp << " bytes away under the "
+            << model.name() << " model";
+        std::ostringstream hint;
+        hint << "the short form spans [" << short_min << ", " << short_max
+             << "] bytes but this target is " << instr.disp
+             << " away; placing the blocks closer (or sinking the code "
+                "between them) recovers "
+             << model.instrBytes(InstrClass::CondBranch, BranchForm::Near) -
+                    model.instrBytes(InstrClass::CondBranch,
+                                     BranchForm::Short)
+             << " bytes";
+        emit(sink, "layout.reach", {proc.id(), instr.block, kNoEdge},
+             msg.str(), hint.str());
+    }
+}
+
 }  // namespace
 
 void
@@ -431,6 +481,7 @@ lintLayout(const Program &program, const ProgramLayout &layout,
                 lintTransformFlags(proc, pl, sink);
                 lintAddresses(proc, pl, sink);
                 lintLoopSplit(proc, pl, options, sink);
+                lintReach(proc, pl, options, sink);
             }
             base = pl.base + pl.totalInstrs;
         }

@@ -77,6 +77,9 @@ allLintRules()
         {"layout.loop-split", Severity::Note,
          "hot natural loop laid out non-contiguously (its blocks span "
          "more slots than they fill)"},
+        {"layout.reach", Severity::Note,
+         "conditional branch displacement exceeds the short-encoding "
+         "range of the active encoding model after relaxation"},
 
         // Cost-model relations.
         {"cost.monotone", Severity::Error,

@@ -24,6 +24,7 @@
 
 #include "bpred/cost_model.h"
 #include "cfg/program.h"
+#include "emit/encoding.h"
 #include "layout/layout_result.h"
 #include "lint/diagnostic.h"
 #include "objective/objective.h"
@@ -64,6 +65,12 @@ struct LintOptions
     /// back-edge weight reaches this threshold: splitting a loop the
     /// program barely iterates costs nothing worth reporting.
     Weight hotLoopWeight = 1024;
+
+    /// Encoding model layout.reach relaxes each layout under. The
+    /// default is the variable model — the one with a short form to
+    /// escape; under FixedWord nothing is relaxable and the rule passes
+    /// vacuously.
+    EncodingModelKind encoding = EncodingModelKind::Variable;
 };
 
 // ---------------------------------------------------------------------

@@ -1,6 +1,7 @@
 #include "objective/objective.h"
 
 #include "objective/exttsp.h"
+#include "objective/size_aware.h"
 #include "objective/table_cost.h"
 #include "support/log.h"
 
@@ -12,6 +13,7 @@ objectiveKindName(ObjectiveKind kind)
     switch (kind) {
       case ObjectiveKind::TableCost: return "table-cost";
       case ObjectiveKind::ExtTsp: return "exttsp";
+      case ObjectiveKind::SizeAware: return "size-aware";
     }
     return "?";
 }
@@ -23,6 +25,8 @@ parseObjectiveKind(std::string_view name)
         return ObjectiveKind::TableCost;
     if (name == "exttsp" || name == "ext-tsp")
         return ObjectiveKind::ExtTsp;
+    if (name == "size-aware" || name == "size")
+        return ObjectiveKind::SizeAware;
     return std::nullopt;
 }
 
@@ -32,6 +36,7 @@ allObjectiveKinds()
     static const std::vector<ObjectiveKind> kinds = {
         ObjectiveKind::TableCost,
         ObjectiveKind::ExtTsp,
+        ObjectiveKind::SizeAware,
     };
     return kinds;
 }
@@ -39,7 +44,8 @@ allObjectiveKinds()
 bool
 objectiveArchDependent(ObjectiveKind kind)
 {
-    return kind == ObjectiveKind::TableCost;
+    return kind == ObjectiveKind::TableCost ||
+           kind == ObjectiveKind::SizeAware;
 }
 
 double
@@ -62,6 +68,10 @@ makeObjective(ObjectiveKind kind, const CostModel *model)
         return std::make_unique<TableCostObjective>(*model);
       case ObjectiveKind::ExtTsp:
         return std::make_unique<ExtTspObjective>();
+      case ObjectiveKind::SizeAware:
+        if (model == nullptr)
+            panic("makeObjective: size-aware objective needs a cost model");
+        return std::make_unique<SizeAwareObjective>(*model);
     }
     panic("makeObjective: bad kind");
 }

@@ -50,9 +50,10 @@ class CostModel;
 enum class ObjectiveKind : std::uint8_t {
     TableCost,  ///< paper Table-1 architectural branch cost (cycles)
     ExtTsp,     ///< negated ExtTSP layout score (arXiv:1809.04676)
+    SizeAware,  ///< Table-1 cost + encoded-byte pressure (emit/relax.h)
 };
 
-/// Printable kind name ("table-cost" / "exttsp").
+/// Printable kind name ("table-cost" / "exttsp" / "size-aware").
 const char *objectiveKindName(ObjectiveKind kind);
 
 /// Inverse of objectiveKindName; nullopt for unknown names.
@@ -62,7 +63,7 @@ std::optional<ObjectiveKind> parseObjectiveKind(std::string_view name);
 const std::vector<ObjectiveKind> &allObjectiveKinds();
 
 /// Whether layouts priced under @p kind depend on the architecture's cost
-/// model (true only for TableCost).
+/// model (true for TableCost and SizeAware).
 bool objectiveArchDependent(ObjectiveKind kind);
 
 /**

@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 
+#include "emit/relax.h"
 #include "layout/materialize.h"
 #include "sim/batch_replay.h"
 #include "support/log.h"
@@ -90,6 +91,48 @@ feedTrace(const PreparedProgram &prepared, EventSink &sink)
         walk(prepared.program, prepared.walk, sink);
 }
 
+/**
+ * Rewrites every address field of @p layout to its relaxed byte address
+ * under @p model: block starts, terminator-branch slots and inserted-jump
+ * slots. Instruction-count fields are untouched, so replay accounting
+ * (instrs, per-block activation mapping) is unchanged — only the
+ * addresses that address-indexed predictors consume move. The clone is
+ * never verified or linted (those prove the word model; the byte
+ * rendition has its own obligations in verify/verify.h).
+ */
+void
+translateLayoutAddresses(const Program &program, ProgramLayout &layout,
+                         const EncodingModel &model)
+{
+    const RelaxedLayout relaxed = relaxLayout(program, layout, model);
+    for (ProcId p = 0; p < layout.procs.size(); ++p) {
+        ProcLayout &proc = layout.procs[p];
+        const RelaxedProc &rp = relaxed.procs[p];
+        proc.base = static_cast<Addr>(rp.byteBase);
+        for (const BlockId id : proc.order) {
+            BlockLayout &bl = proc.blocks[id];
+            const RelaxedBlock &rb = rp.blocks[id];
+            // Match the word addresses against the block's slots BEFORE
+            // overwriting them.
+            Addr branch_addr = kNoAddr;
+            Addr jump_addr = kNoAddr;
+            for (std::uint32_t s = 0; s < rb.numInstrs; ++s) {
+                const RelaxedInstr &instr =
+                    relaxed.instrs[rb.firstInstr + s];
+                if (bl.branchAddr != kNoAddr &&
+                    instr.wordAddr == bl.branchAddr)
+                    branch_addr = static_cast<Addr>(instr.byteAddr);
+                if (bl.jumpAddr != kNoAddr &&
+                    instr.wordAddr == bl.jumpAddr)
+                    jump_addr = static_cast<Addr>(instr.byteAddr);
+            }
+            bl.addr = static_cast<Addr>(rb.byteAddr);
+            bl.branchAddr = branch_addr;
+            bl.jumpAddr = jump_addr;
+        }
+    }
+}
+
 }  // namespace
 
 ExperimentRun
@@ -112,6 +155,7 @@ runConfigs(const PreparedProgram &prepared,
         Arch arch;  ///< only meaningful for arch-dependent layouts
         DegradeSpec degrade;
         ProfileSource source;
+        EncodingModelKind encoding;
 
         bool
         operator<(const LayoutKey &other) const
@@ -124,6 +168,8 @@ runConfigs(const PreparedProgram &prepared,
                 return arch < other.arch;
             if (source != other.source)
                 return source < other.source;
+            if (encoding != other.encoding)
+                return encoding < other.encoding;
             return degrade < other.degrade;
         }
     };
@@ -155,7 +201,7 @@ runConfigs(const PreparedProgram &prepared,
                 : config.degrade;
         return LayoutKey{config.kind, config.objective,
                          arch_dependent ? config.arch : Arch::Fallthrough,
-                         degrade, source};
+                         degrade, source, config.encoding};
     };
 
     // Deduplicate the layout keys first so each distinct layout is aligned
@@ -200,6 +246,12 @@ runConfigs(const PreparedProgram &prepared,
             layouts[i] = std::make_unique<ProgramLayout>(alignProgram(
                 program, config.kind, model.get(), arch_options));
         }
+        // Non-default encoding: replay the relaxed byte placement. The
+        // fixed-word default leaves the word-model layout untouched —
+        // the exact historical pipeline.
+        if (config.encoding != EncodingModelKind::FixedWord)
+            translateLayoutAddresses(program, *layouts[i],
+                                     encodingModel(config.encoding));
         models[i] = std::move(model);
     };
     {

@@ -35,6 +35,7 @@
 #include "cfg/cfg_stats.h"
 #include "cfg/program.h"
 #include "core/align_program.h"
+#include "emit/encoding.h"
 #include "profile/degrade.h"
 #include "support/stats.h"
 #include "support/thread_pool.h"
@@ -68,6 +69,17 @@ struct ExperimentConfig
     /// `degrade` — the profile-free endpoint of the robustness axis.
     /// Evaluation always replays the true recorded trace.
     ProfileSource source = ProfileSource::Measured;
+
+    /// Encoding model the evaluated addresses come from. FixedWord (the
+    /// default) replays the word-model addresses directly — the paper's
+    /// fixed 4-byte-instruction machine, byte-identical to the historical
+    /// pipeline. Any other model relaxes each distinct layout
+    /// (emit/relax.h) and replays a clone whose block/branch/jump
+    /// addresses are the final relaxed byte addresses, so
+    /// address-indexed predictors (BTBs) see the variable-length
+    /// placement. Instruction counters are unaffected — only addresses
+    /// change.
+    EncodingModelKind encoding = EncodingModelKind::FixedWord;
 };
 
 /// One evaluated configuration.

@@ -5,6 +5,7 @@
 
 #include "bpred/arch.h"
 #include "check/differ.h"
+#include "emit/relax.h"
 #include "layout/chain_order.h"
 #include "objective/objective.h"
 
@@ -66,6 +67,32 @@ verifyProgramLayouts(const Program &program, const VerifyRunOptions &options)
                 certificate.aligner = alignerKindName(kind);
                 certificate.objective = objectiveKindName(objective);
                 certificate.result = verifyLayout(program, layout);
+
+                // Relaxed byte-layout obligations ride in the same
+                // certificate, but only over a layout whose word-model
+                // proof holds: a corrupted layout has no meaningful byte
+                // rendition (relaxation assumes a walkable order).
+                if (certificate.result.verified()) {
+                    const std::vector<EncodingModelKind> &encodings =
+                        options.encodings.empty() ? allEncodingModelKinds()
+                                                  : options.encodings;
+                    for (const EncodingModelKind encoding : encodings) {
+                        const EncodingModel &em = encodingModel(encoding);
+                        const RelaxedLayout relaxed =
+                            relaxLayout(program, layout, em);
+                        const VerifyResult result = verifyRelaxedLayout(
+                            program, layout, relaxed, em);
+                        for (std::size_t i = 0; i < kNumObligations; ++i) {
+                            certificate.result.obligations[i].checks +=
+                                result.obligations[i].checks;
+                            certificate.result.obligations[i].failures +=
+                                result.obligations[i].failures;
+                        }
+                        certificate.result.failures.insert(
+                            certificate.result.failures.end(),
+                            result.failures.begin(), result.failures.end());
+                    }
+                }
 
                 ++report.layoutsVerified;
                 if (!certificate.result.verified())

@@ -3,8 +3,10 @@
 #include <functional>
 #include <sstream>
 
+#include "emit/relax.h"
 #include "layout/materialize.h"
 #include "layout/realization.h"
+#include "support/types.h"
 
 namespace balign {
 
@@ -19,6 +21,8 @@ obligationName(Obligation obligation)
       case Obligation::SizeAccounting: return "size-accounting";
       case Obligation::SuccPreservation: return "succ-preservation";
       case Obligation::JumpTargets: return "jump-targets";
+      case Obligation::RelaxContiguity: return "relax-contiguity";
+      case Obligation::DisplacementRange: return "displacement-range";
     }
     return "?";
 }
@@ -44,6 +48,11 @@ obligationSummary(Obligation obligation)
       case Obligation::JumpTargets:
         return "every inserted jump trails its block and targets the "
                "displaced successor";
+      case Obligation::RelaxContiguity:
+        return "relaxed byte addresses are gap-free and sized by the "
+               "encoding model";
+      case Obligation::DisplacementRange:
+        return "every branch displacement fits its chosen encoding form";
     }
     return "?";
 }
@@ -558,6 +567,201 @@ verifyLayout(const Program &program, const ProgramLayout &layout)
                           << base;
                       return str(out);
                   });
+    return std::move(checker.result);
+}
+
+VerifyResult
+verifyRelaxedLayout(const Program &program, const ProgramLayout &layout,
+                    const RelaxedLayout &relaxed,
+                    const EncodingModel &model)
+{
+    Checker checker;
+
+    if (!checker.check(Obligation::RelaxContiguity,
+                       relaxed.procs.size() == program.numProcs(), kNoProc,
+                       kNoBlock, [&] {
+                           std::ostringstream out;
+                           out << "relaxed layout has "
+                               << relaxed.procs.size()
+                               << " procedure records for a "
+                               << program.numProcs()
+                               << "-procedure program";
+                           return str(out);
+                       }))
+        return std::move(checker.result);
+
+    // The word-model instruction enumeration is the specification the
+    // byte layout must refine slot for slot.
+    const std::vector<LayoutInstr> spec =
+        enumerateProgramInstrs(program, layout);
+    if (!checker.check(Obligation::RelaxContiguity,
+                       relaxed.instrs.size() == spec.size(), kNoProc,
+                       kNoBlock, [&] {
+                           std::ostringstream out;
+                           out << "relaxed layout has "
+                               << relaxed.instrs.size() << " slots but the "
+                               << "materialized layout enumerates "
+                               << spec.size();
+                           return str(out);
+                       }))
+        return std::move(checker.result);
+
+    std::uint64_t cursor = 0;
+    for (std::size_t i = 0; i < relaxed.instrs.size(); ++i) {
+        const RelaxedInstr &instr = relaxed.instrs[i];
+        const LayoutInstr &want = spec[i];
+
+        checker.check(Obligation::RelaxContiguity,
+                      instr.cls == want.cls &&
+                          instr.wordAddr == want.wordAddr &&
+                          instr.proc == want.proc &&
+                          instr.block == want.block &&
+                          instr.targetBlock == want.targetBlock &&
+                          instr.callee == want.callee,
+                      want.proc, want.block, [&] {
+                          std::ostringstream out;
+                          out << "slot " << i << " ("
+                              << instrClassName(instr.cls) << " at word "
+                              << instr.wordAddr
+                              << ") diverges from the materialized slot ("
+                              << instrClassName(want.cls) << " at word "
+                              << want.wordAddr << ")";
+                          return str(out);
+                      });
+
+        const unsigned expect_size = model.instrBytes(instr.cls, instr.form);
+        const bool fixed_ok =
+            model.kind() != EncodingModelKind::FixedWord ||
+            instr.byteAddr == instr.wordAddr * kInstrBytes;
+        checker.check(Obligation::RelaxContiguity,
+                      instr.byteAddr == cursor &&
+                          instr.size == expect_size && fixed_ok,
+                      instr.proc, instr.block, [&] {
+                          std::ostringstream out;
+                          out << "slot " << i << " at byte "
+                              << instr.byteAddr << " size "
+                              << unsigned{instr.size}
+                              << ": the gap-free walk expects byte "
+                              << cursor << " size " << expect_size;
+                          if (!fixed_ok)
+                              out << " (fixed-word model requires byte = "
+                                  << instr.wordAddr * kInstrBytes << ")";
+                          return str(out);
+                      });
+        cursor += expect_size;
+    }
+    checker.check(Obligation::RelaxContiguity,
+                  relaxed.totalBytes == cursor, kNoProc, kNoBlock, [&] {
+                      std::ostringstream out;
+                      out << "relaxed footprint " << relaxed.totalBytes
+                          << " bytes disagrees with the sum of slot sizes "
+                          << cursor;
+                      return str(out);
+                  });
+
+    // Procedure and block byte bounds must agree with their slots.
+    std::uint64_t base = 0;
+    std::uint32_t first = 0;
+    for (ProcId p = 0; p < program.numProcs(); ++p) {
+        const RelaxedProc &proc = relaxed.procs[p];
+        std::uint64_t bytes = 0;
+        for (std::uint32_t s = 0; s < proc.numInstrs; ++s)
+            bytes += relaxed.instrs[proc.firstInstr + s].size;
+        checker.check(Obligation::RelaxContiguity,
+                      proc.byteBase == base && proc.firstInstr == first &&
+                          proc.byteSize == bytes,
+                      p, kNoBlock, [&] {
+                          std::ostringstream out;
+                          out << "procedure bytes [" << proc.byteBase
+                              << ", +" << proc.byteSize << ") slots ["
+                              << proc.firstInstr << ", +" << proc.numInstrs
+                              << ") disagree with contiguous placement at "
+                              << base << " (" << bytes << " bytes, slot "
+                              << first << ")";
+                          return str(out);
+                      });
+        base += bytes;
+        first += proc.numInstrs;
+
+        const ProcLayout &pl = layout.procs[p];
+        for (BlockId id = 0; id < proc.blocks.size(); ++id) {
+            const RelaxedBlock &block = proc.blocks[id];
+            std::uint32_t block_bytes = 0;
+            for (std::uint32_t s = 0; s < block.numInstrs; ++s)
+                block_bytes +=
+                    relaxed.instrs[block.firstInstr + s].size;
+            const std::uint64_t expect_addr =
+                block.numInstrs > 0
+                    ? relaxed.instrs[block.firstInstr].byteAddr
+                    : block.byteAddr;
+            checker.check(
+                Obligation::RelaxContiguity,
+                id < pl.blocks.size() &&
+                    block.numInstrs == pl.blocks[id].finalInstrs &&
+                    block.byteAddr == expect_addr &&
+                    block.byteSize == block_bytes,
+                p, id, [&] {
+                    std::ostringstream out;
+                    out << "block bytes [" << block.byteAddr << ", +"
+                        << block.byteSize << ") over " << block.numInstrs
+                        << " slots disagree with its slot range";
+                    return str(out);
+                });
+        }
+    }
+
+    // displacement-range: every targeted slot's displacement is exactly
+    // target minus end-of-instruction and representable in its form;
+    // forms are Short/Near exactly for relaxable classes.
+    for (const RelaxedInstr &instr : relaxed.instrs) {
+        const bool relaxable = model.relaxable(instr.cls);
+        checker.check(Obligation::DisplacementRange,
+                      relaxable ? instr.form != BranchForm::None
+                                : instr.form == BranchForm::None,
+                      instr.proc, instr.block, [&] {
+                          std::ostringstream out;
+                          out << instrClassName(instr.cls) << " at byte "
+                              << instr.byteAddr << " carries form "
+                              << branchFormName(instr.form) << " but is "
+                              << (relaxable ? "" : "not ")
+                              << "relaxable under " << model.name();
+                          return str(out);
+                      });
+        if (instr.targetBlock == kNoBlock)
+            continue;
+        if (instr.proc >= relaxed.procs.size() ||
+            instr.targetBlock >= relaxed.procs[instr.proc].blocks.size()) {
+            checker.check(Obligation::DisplacementRange, false, instr.proc,
+                          instr.block, [&] {
+                              return std::string(
+                                  "branch target block has no relaxed "
+                                  "placement");
+                          });
+            continue;
+        }
+        const std::uint64_t target =
+            relaxed.procs[instr.proc].blocks[instr.targetBlock].byteAddr;
+        const std::int64_t disp =
+            static_cast<std::int64_t>(target) -
+            static_cast<std::int64_t>(instr.byteAddr + instr.size);
+        checker.check(
+            Obligation::DisplacementRange,
+            instr.disp == disp &&
+                model.displacementFits(instr.cls, instr.form, disp),
+            instr.proc, instr.block, [&] {
+                std::ostringstream out;
+                out << instrClassName(instr.cls) << " at byte "
+                    << instr.byteAddr << " to block " << instr.targetBlock
+                    << " records displacement " << instr.disp
+                    << " but the target at byte " << target << " is "
+                    << disp << " away"
+                    << (model.displacementFits(instr.cls, instr.form, disp)
+                            ? ""
+                            : ", which escapes its form");
+                return str(out);
+            });
+    }
+
     return std::move(checker.result);
 }
 

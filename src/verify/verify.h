@@ -25,6 +25,20 @@
  *  - jump-targets        every inserted jump trails its block and targets
  *                        exactly the successor the realization displaced
  *
+ * Two further obligations cover the emit backend's relaxed byte layout
+ * (verifyRelaxedLayout, discharged against a RelaxedLayout produced by
+ * emit/relax.h):
+ *
+ *  - relax-contiguity    relaxed byte addresses are gap-free in
+ *                        instruction order, block/procedure byte bounds
+ *                        agree with their slots, and every slot's size
+ *                        is the model's size for its chosen form
+ *  - displacement-range  every branch's displacement equals target minus
+ *                        end-of-instruction and fits its chosen form;
+ *                        forms are Short/Near exactly for relaxable
+ *                        classes (and byte = 4x word addresses under the
+ *                        fixed-word model)
+ *
  * Verification is total: malformed input produces failures, never a
  * panic. A failure names its obligation — that exact name is what the
  * alignProgram post-condition reports and what the certificate (see
@@ -57,9 +71,11 @@ enum class Obligation : std::uint8_t {
     SizeAccounting,
     SuccPreservation,
     JumpTargets,
+    RelaxContiguity,
+    DisplacementRange,
 };
 
-inline constexpr std::size_t kNumObligations = 7;
+inline constexpr std::size_t kNumObligations = 9;
 
 /// Stable kebab-case obligation name (certificate schema).
 const char *obligationName(Obligation obligation);
@@ -103,6 +119,20 @@ std::string formatVerifyFailure(const VerifyFailure &failure);
 /// Statically proves @p layout semantically equivalent to @p program.
 VerifyResult verifyLayout(const Program &program,
                           const ProgramLayout &layout);
+
+class EncodingModel;
+struct RelaxedLayout;
+
+/**
+ * Statically proves @p relaxed a faithful byte rendition of @p layout
+ * under @p model: relax-contiguity and displacement-range (see the file
+ * comment). Only those two obligations accrue checks; the result can be
+ * merged check-wise with a verifyLayout result for the same layout.
+ */
+VerifyResult verifyRelaxedLayout(const Program &program,
+                                 const ProgramLayout &layout,
+                                 const RelaxedLayout &relaxed,
+                                 const EncodingModel &model);
 
 }  // namespace balign
 

@@ -23,6 +23,7 @@
 #include "check/differ.h"
 #include "check/fuzz.h"
 #include "core/align_program.h"
+#include "emit/relax.h"
 #include "objective/objective.h"
 #include "trace/profiler.h"
 #include "trace/walker.h"
@@ -123,12 +124,30 @@ TEST(Verify, CleanLayoutsProveForEveryAligner)
 {
     const Program program = verifyBase();
     for (const AlignerKind kind : allAlignerKindsExtended()) {
-        const VerifyResult result =
-            verifyLayout(program, alignedBase(program, kind));
+        const ProgramLayout layout = alignedBase(program, kind);
+        VerifyResult result = verifyLayout(program, layout);
         EXPECT_TRUE(result.verified()) << alignerKindName(kind) << ": "
             << (result.failures.empty()
                     ? std::string()
                     : formatVerifyFailure(result.failures.front()));
+        // The relaxed byte-layout obligations live in their own proof;
+        // merge them the way the sweep driver does so the coverage
+        // assertion below spans all kNumObligations.
+        for (const EncodingModelKind encoding : allEncodingModelKinds()) {
+            const EncodingModel &model = encodingModel(encoding);
+            const VerifyResult relaxed = verifyRelaxedLayout(
+                program, layout, relaxLayout(program, layout, model),
+                model);
+            EXPECT_TRUE(relaxed.verified())
+                << alignerKindName(kind) << "/"
+                << encodingModelKindName(encoding) << ": "
+                << (relaxed.failures.empty()
+                        ? std::string()
+                        : formatVerifyFailure(relaxed.failures.front()));
+            for (std::size_t i = 0; i < kNumObligations; ++i)
+                result.obligations[i].checks +=
+                    relaxed.obligations[i].checks;
+        }
         // Every obligation must actually be exercised, not vacuously
         // skipped.
         for (const ObligationRecord &record : result.obligations)
@@ -253,10 +272,10 @@ TEST(VerifyDriver, SweepProvesFullMatrixWithArchDedup)
 
     EXPECT_TRUE(report.verified())
         << formatVerifyReport(report, "verify-base");
-    // table-cost is arch-dependent: 8 archs x 4 aligners. exttsp layouts
-    // are identical off BT/FNT, so one representative (empty arch
-    // context) plus BT/FNT: 2 x 4.
-    EXPECT_EQ(report.layoutsVerified, 8u * 4u + 2u * 4u);
+    // table-cost and size-aware are arch-dependent: 8 archs x 4 aligners
+    // each. exttsp layouts are identical off BT/FNT, so one
+    // representative (empty arch context) plus BT/FNT: 2 x 4.
+    EXPECT_EQ(report.layoutsVerified, 2u * 8u * 4u + 2u * 4u);
     EXPECT_EQ(report.failedLayouts, 0u);
     EXPECT_GT(report.totalChecks(), 0u);
 

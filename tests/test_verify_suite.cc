@@ -5,12 +5,14 @@
  *
  * Every suite program is profiled (reduced budget — the verifier proves
  * layout equivalence, not simulation quality) and swept through
- * verifyProgramLayouts under both objectives: all 40 layouts per program
- * (8 architectures x 4 aligners under table-cost, the deduplicated
- * representative + BT/FNT x 4 under exttsp) must prove with zero failed
- * obligations. Corpus repros — including the shrunk divergence findings —
- * get the same treatment: whatever bug a repro pins, its layouts must
- * still be faithful translations.
+ * verifyProgramLayouts under every objective: all 72 layouts per program
+ * (8 architectures x 4 aligners under each arch-dependent objective —
+ * table-cost and size-aware — plus the deduplicated representative +
+ * BT/FNT x 4 under exttsp) must prove with zero failed obligations,
+ * including the relaxed byte-layout obligations under both encoding
+ * models. Corpus repros — including the shrunk divergence findings — get
+ * the same treatment: whatever bug a repro pins, its layouts must still
+ * be faithful translations.
  */
 
 #include <gtest/gtest.h>
@@ -78,8 +80,8 @@ TEST_P(VerifySuite, AllLayoutsProve)
     profileWith(program, 1, kSuiteBudget);
     const VerifyRunReport report =
         verifyProgramLayouts(program, fullMatrix());
-    EXPECT_EQ(report.layoutsVerified, 40u);
-    EXPECT_EQ(report.certificates.size(), 40u);
+    EXPECT_EQ(report.layoutsVerified, 72u);
+    EXPECT_EQ(report.certificates.size(), 72u);
     if (!report.verified())
         ADD_FAILURE() << formatVerifyReport(report, GetParam());
 }

@@ -79,9 +79,18 @@
  *       layout. -o DIR writes one certificate-bearing JSON report per
  *       program into DIR.
  *
- *   Exit-code contract (lint and verify): 0 = clean, 1 = findings
- *   (lint errors / failed proof obligations), 2 = usage or IO error.
- *   Other subcommands exit 1 on any error.
+ *   balign emit <FILE> -o FILE.o [--encoding fixed|variable]
+ *               [--algo ALGO] [--arch ARCH] [--objective OBJ] [--json]
+ *       Align the program (identity layout unless --algo is given), relax
+ *       every branch to its final short/near form (emit/relax.h), prove
+ *       the relaxed byte layout against the verifier's emission
+ *       obligations, and write a relocatable ELF64 object whose .text is
+ *       the encoded layout. --json prints a machine-readable summary
+ *       (text bytes, short/near branch counts, relaxation sweeps).
+ *
+ *   Exit-code contract (lint, verify and emit): 0 = clean, 1 = findings
+ *   (lint errors / failed proof obligations / unconverged relaxation),
+ *   2 = usage or IO error. Other subcommands exit 1 on any error.
  *
  * Architectures: fallthrough btfnt likely pht gshare btb-small btb-large.
  * Algorithms: greedy cost try15 exttsp.
@@ -104,6 +113,7 @@
 #include "check/fuzz.h"
 #include "core/align_program.h"
 #include "core/unroll.h"
+#include "emit/elf.h"
 #include "estimate/estimate.h"
 #include "layout/materialize.h"
 #include "lint/lint.h"
@@ -128,8 +138,10 @@ struct Args
     std::string output;
     std::string arch = "btfnt";
     std::string algo = "try15";
+    bool algoSet = false;
     std::string objective = "table-cost";
     bool objectiveSet = false;
+    std::string encoding = "variable";
     std::uint64_t instrs = 2'000'000;
     bool instrsSet = false;
     std::uint64_t seed = 1;
@@ -161,8 +173,12 @@ parseArgs(int argc, char **argv)
             args.output = next();
         else if (arg == "--arch")
             args.arch = next();
-        else if (arg == "--algo")
+        else if (arg == "--algo") {
             args.algo = next();
+            args.algoSet = true;
+        }
+        else if (arg == "--encoding")
+            args.encoding = next();
         else if (arg == "--objective") {
             args.objective = next();
             args.objectiveSet = true;
@@ -753,6 +769,86 @@ cmdVerify(const Args &args)
     return total_failed == 0 ? 0 : 1;
 }
 
+int
+cmdEmit(const Args &args)
+{
+    std::vector<std::pair<std::string, Program>> inputs;
+    if (const int status = collectStaticInputs(args, "emit", inputs))
+        return status;
+    if (inputs.size() != 1) {
+        std::fprintf(stderr, "emit: need exactly one input program\n");
+        return 2;
+    }
+    if (args.output.empty()) {
+        std::fprintf(stderr, "emit: need -o FILE for the object\n");
+        return 2;
+    }
+    const std::optional<EncodingModelKind> encoding =
+        parseEncodingModelKind(args.encoding);
+    if (!encoding.has_value()) {
+        std::fprintf(stderr, "emit: unknown encoding '%s'\n",
+                     args.encoding.c_str());
+        return 2;
+    }
+    const Program &program = inputs.front().second;
+
+    // The object captures ONE layout; the identity layout is the neutral
+    // default so `balign emit prog.balign -o prog.o` round-trips the
+    // program as written, and --algo selects an optimized placement.
+    const AlignerKind kind =
+        args.algoSet ? parseAlgo(args.algo) : AlignerKind::Original;
+    const CostModel model(parseArch(args.arch));
+    AlignOptions options;
+    options.objective = parseObjective(args.objective);
+    if (model.arch() == Arch::BtFnt)
+        options.chainOrder = ChainOrderPolicy::BtFntPrecedence;
+    const ProgramLayout layout =
+        alignProgram(program, kind, &model, options);
+
+    const EncodingModel &em = encodingModel(*encoding);
+    const RelaxedLayout relaxed = relaxLayout(program, layout, em);
+    if (!relaxed.converged) {
+        std::fprintf(stderr, "emit: relaxation did not converge: %s\n",
+                     relaxed.diagnostic.c_str());
+        return 1;
+    }
+    const VerifyResult proof =
+        verifyRelaxedLayout(program, layout, relaxed, em);
+    if (!proof.verified()) {
+        for (const VerifyFailure &failure : proof.failures)
+            std::fprintf(stderr, "emit: %s\n",
+                         formatVerifyFailure(failure).c_str());
+        return 1;
+    }
+    if (!writeElfObject(args.output, program, relaxed, em))
+        return 2;
+
+    if (args.json) {
+        std::cout << "{\"schema_version\":1,\"program\":\""
+                  << program.name()
+                  << "\",\"encoding\":\"" << em.name()
+                  << "\",\"algo\":\"" << alignerKindName(kind)
+                  << "\",\"arch\":\"" << archName(model.arch())
+                  << "\",\"objective\":\""
+                  << objectiveKindName(options.objective)
+                  << "\",\"object\":\"" << args.output
+                  << "\",\"text_bytes\":" << relaxed.totalBytes
+                  << ",\"short_branches\":" << relaxed.shortBranches
+                  << ",\"near_branches\":" << relaxed.nearBranches
+                  << ",\"relax_sweeps\":" << relaxed.iterations
+                  << ",\"checks\":" << proof.totalChecks() << "}\n";
+    } else {
+        std::printf("emit: %s: %llu text byte(s) (%llu short, %llu near "
+                    "branch(es), %u sweep(s)) -> %s\n",
+                    program.name().c_str(),
+                    static_cast<unsigned long long>(relaxed.totalBytes),
+                    static_cast<unsigned long long>(relaxed.shortBranches),
+                    static_cast<unsigned long long>(relaxed.nearBranches),
+                    relaxed.iterations, args.output.c_str());
+    }
+    return 0;
+}
+
 void
 usage()
 {
@@ -775,11 +871,14 @@ usage()
         "  lint <FILE>...|--suite [--json]            static verification\n"
         "  verify <FILE>...|--suite [--json] [-o DIR] prove layouts, emit\n"
         "                                             certificates\n"
+        "  emit <FILE> -o FILE.o [--encoding E]       relax branch forms and\n"
+        "                                             write a relocatable ELF\n"
         "options:\n"
         "  --algo greedy|cost|try15|exttsp|original   alignment algorithm\n"
-        "  --objective table-cost|exttsp              alignment objective\n"
-        "    (align/evaluate/lint price under it; fuzz/repro sweep both\n"
-        "    objectives unless one is forced)\n"
+        "  --objective table-cost|exttsp|size-aware   alignment objective\n"
+        "    (align/evaluate/lint price under it; fuzz/repro sweep every\n"
+        "    objective unless one is forced)\n"
+        "  --encoding variable|fixed                  encoding model (emit)\n"
         "  --kind none|sample|stale|perturb|merge|drift\n"
         "    profile degradation; severity: -n N (sample keeps 1/N, merge\n"
         "    adds N walks), --param X (perturb eps / drift t),\n"
@@ -823,6 +922,8 @@ main(int argc, char **argv)
         return cmdLint(args);
     if (command == "verify")
         return cmdVerify(args);
+    if (command == "emit")
+        return cmdEmit(args);
     usage();
     return 2;
 }

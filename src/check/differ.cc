@@ -22,6 +22,7 @@ divergenceKindName(DivergenceKind kind)
       case DivergenceKind::Realign: return "realign";
       case DivergenceKind::Estimate: return "estimate";
       case DivergenceKind::Emit: return "emit";
+      case DivergenceKind::Disasm: return "disasm";
     }
     return "?";
 }

@@ -63,6 +63,10 @@ enum class DivergenceKind : std::uint8_t {
                  ///< relaxed layout failed verification or re-relaxed to
                  ///< different bytes, or the ELF object did not round-trip
                  ///< through the self-contained reader
+    Disasm,      ///< the binary-level translation validator
+                 ///< (disasm/checkobj.h) could not prove an emitted
+                 ///< object's decoded instructions and control-flow graph
+                 ///< equal to the relaxed layout that produced it
 };
 
 /// Printable kind name.

@@ -7,6 +7,7 @@
 #include "cfg/serialize.h"
 #include "cfg/validate.h"
 #include "core/realign.h"
+#include "disasm/checkobj.h"
 #include "emit/elf.h"
 #include "emit/relax.h"
 #include "estimate/estimate.h"
@@ -952,6 +953,62 @@ emitGateCheck(const Program &program, const DiffOptions &options)
     return std::nullopt;
 }
 
+std::optional<Divergence>
+disasmGateCheck(const Program &program, const DiffOptions &options)
+{
+    const std::vector<AlignerKind> kinds =
+        options.kinds.empty() ? allAlignerKindsExtended() : options.kinds;
+    const std::vector<ObjectiveKind> objectives =
+        options.objectives.empty()
+            ? std::vector<ObjectiveKind>{options.align.objective}
+            : options.objectives;
+    const CostModel model(Arch::Fallthrough);
+
+    for (const AlignerKind kind : kinds) {
+        for (const ObjectiveKind objective : objectives) {
+            AlignOptions align = options.align;
+            align.objective = objective;
+            align.verify = false;  // failures become findings, not panics
+            const ProgramLayout layout =
+                alignProgram(program, kind, &model, align);
+
+            for (const EncodingModelKind encoding :
+                 allEncodingModelKinds()) {
+                const EncodingModel &em = encodingModel(encoding);
+                const RelaxedLayout relaxed =
+                    relaxLayout(program, layout, em);
+                // Unconverged relaxations are the emit gate's finding;
+                // there is no trustworthy byte layout to validate.
+                if (!relaxed.converged)
+                    continue;
+
+                const std::vector<std::uint8_t> object =
+                    buildElfObject(program, relaxed, em);
+                const ObjCheckResult result =
+                    checkObject(program, relaxed, object);
+                if (result.verified())
+                    continue;
+
+                Divergence divergence;
+                divergence.kind = DivergenceKind::Disasm;
+                divergence.aligner = kind;
+                divergence.objective = objective;
+                divergence.program = program.name();
+                std::ostringstream detail;
+                detail << "  " << encodingModelKindName(encoding) << ": "
+                       << result.totalFailures() << " of "
+                       << result.totalChecks()
+                       << " byte-level obligation checks failed: "
+                       << formatObjFailure(result.failures.front())
+                       << "\n";
+                divergence.detail = detail.str();
+                return divergence;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
 FuzzReport
 runFuzz(const FuzzOptions &options)
 {
@@ -1006,6 +1063,12 @@ runFuzz(const FuzzOptions &options)
         if (options.emitGate) {
             std::optional<Divergence> hit =
                 emitGateCheck(prepared.program, first_only);
+            if (hit.has_value())
+                return hit;
+        }
+        if (options.disasmGate) {
+            std::optional<Divergence> hit =
+                disasmGateCheck(prepared.program, first_only);
             if (hit.has_value())
                 return hit;
         }
@@ -1066,6 +1129,8 @@ runFuzz(const FuzzOptions &options)
             ++report.estimateHits;
         if (report.divergences.back().kind == DivergenceKind::Emit)
             ++report.emitHits;
+        if (report.divergences.back().kind == DivergenceKind::Disasm)
+            ++report.disasmHits;
 
         std::string path;
         if (!options.corpusDir.empty()) {

@@ -112,6 +112,14 @@ struct FuzzOptions
     /// encoder. A violation is a finding of its own (DivergenceKind::Emit)
     /// and shrinks exactly like a divergence.
     bool emitGate = true;
+    /// Emit every aligner's layout under every encoding model, decode
+    /// the object with the independent disassembler (disasm/disasm.h)
+    /// and discharge the byte-level obligations (disasm/checkobj.h):
+    /// decode totality, branch targets, relocation correctness, CFG
+    /// isomorphism and size accounting. A violation is a finding of its
+    /// own (DivergenceKind::Disasm) and shrinks exactly like a
+    /// divergence.
+    bool disasmGate = true;
 };
 
 /// Campaign outcome.
@@ -136,6 +144,9 @@ struct FuzzReport
     /// Findings of kind DivergenceKind::Emit among `divergences`
     /// (relaxation or ELF emission broke its contract).
     std::uint64_t emitHits = 0;
+    /// Findings of kind DivergenceKind::Disasm among `divergences`
+    /// (an emitted object failed the byte-level translation validator).
+    std::uint64_t disasmHits = 0;
     /// First divergence per diverging seed, AFTER shrinking.
     std::vector<Divergence> divergences;
     /// Repro files written (parallel to divergences; empty string when
@@ -201,6 +212,19 @@ std::optional<Divergence> estimateGateCheck(const Program &program,
  */
 std::optional<Divergence> emitGateCheck(const Program &program,
                                         const DiffOptions &options = {});
+
+/**
+ * The fuzzer's binary-validation gate: aligns @p program under every
+ * configured (aligner, objective) pair, emits an ELF object under every
+ * encoding model, decodes it with the independent disassembler and
+ * discharges the byte-level obligation family (disasm/checkobj.h)
+ * against the relaxed layout. Unconverged relaxations are skipped — the
+ * emit gate owns that finding. Returns a DivergenceKind::Disasm finding
+ * carrying the first failed obligation, or nullopt when every object
+ * validates.
+ */
+std::optional<Divergence> disasmGateCheck(const Program &program,
+                                          const DiffOptions &options = {});
 
 /// Runs the campaign: seeds -> programs -> differ -> shrink -> corpus.
 FuzzReport runFuzz(const FuzzOptions &options);

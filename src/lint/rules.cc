@@ -85,6 +85,15 @@ allLintRules()
         {"cost.monotone", Severity::Error,
          "cost-aware layouts never model-cost more than the Greedy "
          "baseline (Table 1 recomputation)"},
+
+        // Decoded-object findings (binary-level mirrors of cfg.* /
+        // layout.* rules, derived from the independent disassembly).
+        {"obj.unreachable", Severity::Warning,
+         "decoded basic block is unreachable from its procedure entry in "
+         "the decoded control-flow graph"},
+        {"obj.long-form", Severity::Note,
+         "decoded branch kept its near (rel32) form — the relaxation "
+         "fixpoint could not shorten it"},
     };
     return rules;
 }

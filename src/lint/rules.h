@@ -117,6 +117,21 @@ void lintLayout(const Program &program, const ProgramLayout &layout,
                 const LintOptions &options, std::vector<Diagnostic> &sink);
 
 // ---------------------------------------------------------------------
+// obj.* — findings over a decoded object (disasm/disasm.h). Unlike the
+// checkobj obligations these are advisory: they describe properties of
+// the emitted bytes (unreachable decoded blocks, branches stuck in
+// their near form) rather than source/binary disagreements. Run from
+// `balign check-obj`, not from lintProgram — they need an object.
+
+struct Disassembly;
+
+/// Runs every obj.* rule over @p disasm. @p encoding is attached to the
+/// diagnostics as context (the aligner field, which check-obj reuses).
+void lintObject(const Program &program, const Disassembly &disasm,
+                const std::string &encoding,
+                std::vector<Diagnostic> &sink);
+
+// ---------------------------------------------------------------------
 // cost.* — objective monotonicity. A candidate layout (Cost / Try15 /
 // ExtTsp) must not price more than the baseline (Greedy) under the active
 // alignment objective; prices are recomputed independently by the

@@ -86,11 +86,30 @@
  *       the relaxed byte layout against the verifier's emission
  *       obligations, and write a relocatable ELF64 object whose .text is
  *       the encoded layout. --json prints a machine-readable summary
- *       (text bytes, short/near branch counts, relaxation sweeps).
+ *       (text bytes, short/near branch counts, relaxation sweeps, and a
+ *       per-procedure `procs` size array shared with check-obj).
  *
- *   Exit-code contract (lint, verify and emit): 0 = clean, 1 = findings
- *   (lint errors / failed proof obligations / unconverged relaxation),
- *   2 = usage or IO error. Other subcommands exit 1 on any error.
+ *   balign check-obj <FILE> <FILE.o> [--json] [--encoding E]
+ *                    [--algo ALGO] [--arch ARCH] [--objective OBJ]
+ *   balign check-obj --suite [--json] [-o DIR] [--encoding E]
+ *                    [--algo ALGO] [--instrs N] [--seed S]
+ *       Binary-level translation validation (disasm/checkobj.h): rebuild
+ *       the layout `emit` captured (same defaults), decode the object
+ *       with the independent disassembler and discharge the byte-level
+ *       obligation family — decode totality, branch targets, relocation
+ *       correctness, CFG isomorphism, size accounting. The encoding is
+ *       inferred from the object's e_machine unless --encoding forces
+ *       it. Advisory obj.* lint findings (unreachable decoded blocks,
+ *       branches stuck in near form) print after the obligations. --json
+ *       emits one certificate per object (schema_version, per-obligation
+ *       tallies, the shared `procs` size array); --suite validates
+ *       in-memory objects for all 24 benchmark programs and -o DIR
+ *       writes one certificate file per program.
+ *
+ *   Exit-code contract (lint, verify, emit and check-obj): 0 = clean,
+ *   1 = findings (lint errors / failed proof obligations / unconverged
+ *   relaxation / undischarged byte-level obligations), 2 = usage or IO
+ *   error. Other subcommands exit 1 on any error.
  *
  * Architectures: fallthrough btfnt likely pht gshare btb-small btb-large.
  * Algorithms: greedy cost try15 exttsp.
@@ -104,6 +123,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -113,7 +133,9 @@
 #include "check/fuzz.h"
 #include "core/align_program.h"
 #include "core/unroll.h"
+#include "disasm/checkobj.h"
 #include "emit/elf.h"
+#include "lint/rules.h"
 #include "estimate/estimate.h"
 #include "layout/materialize.h"
 #include "lint/lint.h"
@@ -142,6 +164,7 @@ struct Args
     std::string objective = "table-cost";
     bool objectiveSet = false;
     std::string encoding = "variable";
+    bool encodingSet = false;
     std::uint64_t instrs = 2'000'000;
     bool instrsSet = false;
     std::uint64_t seed = 1;
@@ -177,8 +200,10 @@ parseArgs(int argc, char **argv)
             args.algo = next();
             args.algoSet = true;
         }
-        else if (arg == "--encoding")
+        else if (arg == "--encoding") {
             args.encoding = next();
+            args.encodingSet = true;
+        }
         else if (arg == "--objective") {
             args.objective = next();
             args.objectiveSet = true;
@@ -769,6 +794,82 @@ cmdVerify(const Args &args)
     return total_failed == 0 ? 0 : 1;
 }
 
+/**
+ * Rebuilds the layout `emit` captures in an object — the identity layout
+ * unless --algo is given, priced under --arch's cost model with the
+ * BT/FNT chain-order override. Shared by emit and check-obj so the
+ * validator reconstructs exactly what the emitter wrote.
+ */
+ProgramLayout
+emitLayout(const Args &args, const Program &program, AlignerKind &kind)
+{
+    // The object captures ONE layout; the identity layout is the neutral
+    // default so `balign emit prog.balign -o prog.o` round-trips the
+    // program as written, and --algo selects an optimized placement.
+    kind = args.algoSet ? parseAlgo(args.algo) : AlignerKind::Original;
+    const CostModel model(parseArch(args.arch));
+    AlignOptions options;
+    options.objective = parseObjective(args.objective);
+    if (model.arch() == Arch::BtFnt)
+        options.chainOrder = ChainOrderPolicy::BtFntPrecedence;
+    return alignProgram(program, kind, &model, options);
+}
+
+/// One row of the per-procedure size array emit --json and check-obj
+/// --json share (the schema satellite: identical key names both sides).
+struct ProcSizeRow
+{
+    std::string name;
+    std::uint64_t textBytes = 0;
+    std::uint64_t instrs = 0;
+    std::uint64_t shortBranches = 0;
+    std::uint64_t nearBranches = 0;
+};
+
+/// Writes `"procs":[{"name":...,"text_bytes":...,"instrs":...,
+/// "short_branches":...,"near_branches":...},...]` (no surrounding
+/// braces; the caller owns the enclosing object).
+void
+writeProcSizesJson(const std::vector<ProcSizeRow> &rows, std::ostream &os)
+{
+    os << "\"procs\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const ProcSizeRow &row = rows[i];
+        if (i > 0)
+            os << ',';
+        os << "{\"name\":\"" << row.name
+           << "\",\"text_bytes\":" << row.textBytes
+           << ",\"instrs\":" << row.instrs
+           << ",\"short_branches\":" << row.shortBranches
+           << ",\"near_branches\":" << row.nearBranches << '}';
+    }
+    os << ']';
+}
+
+/// Emit-side rows: byte accounting straight from the relaxation fixpoint.
+std::vector<ProcSizeRow>
+procSizesFromRelaxed(const Program &program, const RelaxedLayout &relaxed)
+{
+    std::vector<ProcSizeRow> rows;
+    for (ProcId p = 0; p < program.numProcs(); ++p) {
+        const RelaxedProc &proc = relaxed.procs[p];
+        ProcSizeRow row;
+        row.name = program.proc(p).name();
+        row.textBytes = proc.byteSize;
+        row.instrs = proc.numInstrs;
+        for (std::uint32_t i = 0; i < proc.numInstrs; ++i) {
+            const BranchForm form =
+                relaxed.instrs[proc.firstInstr + i].form;
+            if (form == BranchForm::Short)
+                ++row.shortBranches;
+            else if (form == BranchForm::Near)
+                ++row.nearBranches;
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
 int
 cmdEmit(const Args &args)
 {
@@ -792,18 +893,8 @@ cmdEmit(const Args &args)
     }
     const Program &program = inputs.front().second;
 
-    // The object captures ONE layout; the identity layout is the neutral
-    // default so `balign emit prog.balign -o prog.o` round-trips the
-    // program as written, and --algo selects an optimized placement.
-    const AlignerKind kind =
-        args.algoSet ? parseAlgo(args.algo) : AlignerKind::Original;
-    const CostModel model(parseArch(args.arch));
-    AlignOptions options;
-    options.objective = parseObjective(args.objective);
-    if (model.arch() == Arch::BtFnt)
-        options.chainOrder = ChainOrderPolicy::BtFntPrecedence;
-    const ProgramLayout layout =
-        alignProgram(program, kind, &model, options);
+    AlignerKind kind = AlignerKind::Original;
+    const ProgramLayout layout = emitLayout(args, program, kind);
 
     const EncodingModel &em = encodingModel(*encoding);
     const RelaxedLayout relaxed = relaxLayout(program, layout, em);
@@ -828,15 +919,18 @@ cmdEmit(const Args &args)
                   << program.name()
                   << "\",\"encoding\":\"" << em.name()
                   << "\",\"algo\":\"" << alignerKindName(kind)
-                  << "\",\"arch\":\"" << archName(model.arch())
+                  << "\",\"arch\":\"" << archName(parseArch(args.arch))
                   << "\",\"objective\":\""
-                  << objectiveKindName(options.objective)
+                  << objectiveKindName(parseObjective(args.objective))
                   << "\",\"object\":\"" << args.output
                   << "\",\"text_bytes\":" << relaxed.totalBytes
                   << ",\"short_branches\":" << relaxed.shortBranches
                   << ",\"near_branches\":" << relaxed.nearBranches
                   << ",\"relax_sweeps\":" << relaxed.iterations
-                  << ",\"checks\":" << proof.totalChecks() << "}\n";
+                  << ",\"checks\":" << proof.totalChecks() << ',';
+        writeProcSizesJson(procSizesFromRelaxed(program, relaxed),
+                           std::cout);
+        std::cout << "}\n";
     } else {
         std::printf("emit: %s: %llu text byte(s) (%llu short, %llu near "
                     "branch(es), %u sweep(s)) -> %s\n",
@@ -847,6 +941,190 @@ cmdEmit(const Args &args)
                     relaxed.iterations, args.output.c_str());
     }
     return 0;
+}
+
+/**
+ * Validates one in-memory or on-disk object: relaxes the reconstructed
+ * layout under @p encoding, runs the byte-level checker, prints either
+ * the text rendering (failures + advisory obj.* lint findings) or one
+ * certificate JSON, and optionally writes the certificate to a file.
+ * Returns the number of obligation failures.
+ */
+std::size_t
+checkOneObject(const Program &program, const RelaxedLayout &relaxed,
+               const std::vector<std::uint8_t> &objectBytes,
+               const std::string &objectLabel, AlignerKind kind,
+               const Args &args, bool jsonFirst, std::ostream *jsonOut,
+               const std::string &certPath)
+{
+    ObjCertificate certificate;
+    certificate.program = program.name();
+    certificate.arch = args.arch;
+    certificate.aligner = alignerKindName(kind);
+    certificate.objective = args.objective;
+    certificate.encoding = encodingModelKindName(relaxed.model);
+    certificate.object = objectLabel;
+    certificate.result = checkObject(program, relaxed, objectBytes);
+    const ObjCheckResult &result = certificate.result;
+
+    if (jsonOut != nullptr) {
+        if (!jsonFirst)
+            *jsonOut << ",\n";
+        writeObjCertificateJson(certificate, *jsonOut);
+    } else {
+        for (const ObjFailure &failure : result.failures)
+            std::printf("%s\n", formatObjFailure(failure).c_str());
+        std::vector<Diagnostic> advisory;
+        lintObject(program, result.disasm, certificate.encoding, advisory);
+        for (const Diagnostic &diagnostic : advisory)
+            std::printf("%s\n", formatDiagnostic(diagnostic).c_str());
+        std::printf("check-obj: %s (%s, %s): %zu check(s), %zu "
+                    "failure(s)%s\n",
+                    program.name().c_str(), certificate.encoding.c_str(),
+                    objectLabel.empty() ? "in-memory"
+                                        : objectLabel.c_str(),
+                    result.totalChecks(), result.totalFailures(),
+                    result.verified() ? "; all obligations discharged"
+                                      : "");
+    }
+    if (!certPath.empty()) {
+        std::ofstream out(certPath);
+        if (!out) {
+            std::fprintf(stderr, "check-obj: cannot write %s\n",
+                         certPath.c_str());
+        } else {
+            writeObjCertificateJson(certificate, out);
+            out << "\n";
+        }
+    }
+    return result.totalFailures();
+}
+
+int
+cmdCheckObj(const Args &args)
+{
+    const std::optional<EncodingModelKind> forced =
+        args.encodingSet ? parseEncodingModelKind(args.encoding)
+                         : std::nullopt;
+    if (args.encodingSet && !forced.has_value()) {
+        std::fprintf(stderr, "check-obj: unknown encoding '%s'\n",
+                     args.encoding.c_str());
+        return 2;
+    }
+
+    if (args.suite) {
+        // Suite mode: emit in-memory objects for all 24 programs under
+        // the (forced or default) encoding and validate each one.
+        std::vector<std::pair<std::string, Program>> inputs;
+        if (const int status =
+                collectStaticInputs(args, "check-obj", inputs))
+            return status;
+        const EncodingModelKind encoding =
+            forced.value_or(*parseEncodingModelKind(args.encoding));
+        const EncodingModel &em = encodingModel(encoding);
+
+        std::size_t failures = 0;
+        bool first = true;
+        if (args.json)
+            std::cout << "[\n";
+        for (const auto &[name, program] : inputs) {
+            AlignerKind kind = AlignerKind::Original;
+            const ProgramLayout layout = emitLayout(args, program, kind);
+            const RelaxedLayout relaxed = relaxLayout(program, layout, em);
+            if (!relaxed.converged) {
+                std::fprintf(stderr,
+                             "check-obj: %s: relaxation did not "
+                             "converge: %s\n",
+                             name.c_str(), relaxed.diagnostic.c_str());
+                ++failures;
+                continue;
+            }
+            const std::vector<std::uint8_t> object =
+                buildElfObject(program, relaxed, em);
+            std::string certPath;
+            if (!args.output.empty()) {
+                std::string file = program.name();
+                for (char &c : file) {
+                    if (c == '/' || c == '\\')
+                        c = '_';
+                }
+                certPath = args.output + "/" + file + "." +
+                           encodingModelKindName(encoding) +
+                           ".checkobj.json";
+            }
+            failures += checkOneObject(
+                program, relaxed, object, /*objectLabel=*/"", kind, args,
+                first, args.json ? &std::cout : nullptr, certPath);
+            first = false;
+        }
+        if (args.json)
+            std::cout << "\n]\n";
+        else
+            std::printf("check-obj: %zu program(s) (%s): %zu obligation "
+                        "failure(s)\n",
+                        inputs.size(), encodingModelKindName(encoding),
+                        failures);
+        return failures == 0 ? 0 : 1;
+    }
+
+    if (args.positional.size() != 2) {
+        std::fprintf(stderr,
+                     "check-obj: need <program.balign> <program.o> or "
+                     "--suite\n");
+        return 2;
+    }
+
+    Args programOnly = args;
+    programOnly.positional = {args.positional[0]};
+    std::vector<std::pair<std::string, Program>> inputs;
+    if (const int status =
+            collectStaticInputs(programOnly, "check-obj", inputs))
+        return status;
+    const Program &program = inputs.front().second;
+
+    const std::string &objectPath = args.positional[1];
+    std::ifstream in(objectPath, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "check-obj: cannot read %s\n",
+                     objectPath.c_str());
+        return 2;
+    }
+    const std::vector<std::uint8_t> objectBytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+
+    // The encoding comes from the object itself (e_machine) unless
+    // --encoding second-guesses it; an unparseable object falls back to
+    // the default so the checker can still report the parse failure as
+    // a decode-totality finding.
+    EncodingModelKind encoding =
+        forced.value_or(*parseEncodingModelKind(args.encoding));
+    if (!forced.has_value()) {
+        const ParsedElf probe = parseElfObject(objectBytes);
+        if (probe.ok && probe.machine == 0)
+            encoding = EncodingModelKind::FixedWord;
+        else if (probe.ok && probe.machine == 62)
+            encoding = EncodingModelKind::Variable;
+    }
+
+    AlignerKind kind = AlignerKind::Original;
+    const ProgramLayout layout = emitLayout(args, program, kind);
+    const RelaxedLayout relaxed =
+        relaxLayout(program, layout, encodingModel(encoding));
+    if (!relaxed.converged) {
+        std::fprintf(stderr,
+                     "check-obj: relaxation did not converge: %s\n",
+                     relaxed.diagnostic.c_str());
+        return 1;
+    }
+
+    const std::size_t failures = checkOneObject(
+        program, relaxed, objectBytes, objectPath, kind, args,
+        /*jsonFirst=*/true, args.json ? &std::cout : nullptr,
+        /*certPath=*/"");
+    if (args.json)
+        std::cout << "\n";
+    return failures == 0 ? 0 : 1;
 }
 
 void
@@ -873,6 +1151,10 @@ usage()
         "                                             certificates\n"
         "  emit <FILE> -o FILE.o [--encoding E]       relax branch forms and\n"
         "                                             write a relocatable ELF\n"
+        "  check-obj <FILE> <FILE.o> [--json]         decode an emitted object\n"
+        "  check-obj --suite [--json] [-o DIR]        and prove it against the\n"
+        "                                             layout (byte-level\n"
+        "                                             translation validation)\n"
         "options:\n"
         "  --algo greedy|cost|try15|exttsp|original   alignment algorithm\n"
         "  --objective table-cost|exttsp|size-aware   alignment objective\n"
@@ -924,6 +1206,8 @@ main(int argc, char **argv)
         return cmdVerify(args);
     if (command == "emit")
         return cmdEmit(args);
+    if (command == "check-obj")
+        return cmdCheckObj(args);
     usage();
     return 2;
 }
